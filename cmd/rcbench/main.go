@@ -1,0 +1,154 @@
+// Command rcbench regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated kernel, plus the ablations documented
+// in DESIGN.md.
+//
+// Usage:
+//
+//	rcbench                  # run everything
+//	rcbench -exp fig11       # one experiment
+//	rcbench -exp fig12,fig14 # a comma-separated list
+//	rcbench -quick           # short measurement windows (CI-speed)
+//	rcbench -seed 7          # different deterministic seed
+//
+// Experiments: table1, baseline, overhead, fig11, fig12, fig13, fig14,
+// fig14lrp, vservers, ablate-pruning, ablate-filter, ablate-api,
+// ablate-lrp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rescon/internal/experiments"
+	"rescon/internal/metrics"
+	"rescon/internal/sim"
+)
+
+type runner struct {
+	name  string
+	inAll bool
+	run   func(opt experiments.Options)
+}
+
+// asCSV switches output to CSV (for plotting tools); set by -csv.
+var asCSV bool
+
+func printTable(t *metrics.Table) {
+	if asCSV {
+		t.RenderCSV(os.Stdout)
+		return
+	}
+	fmt.Print(t)
+}
+
+func printSeries(title, xLabel string, series ...*metrics.Series) {
+	if asCSV {
+		metrics.RenderSeriesCSV(os.Stdout, xLabel, series...)
+		return
+	}
+	metrics.RenderSeries(os.Stdout, title, xLabel, series...)
+}
+
+var runners = []runner{
+	{"table1", true, func(opt experiments.Options) { printTable(experiments.Table1()) }},
+	{"baseline", true, func(opt experiments.Options) { printTable(experiments.Baseline(opt)) }},
+	{"overhead", true, func(opt experiments.Options) { printTable(experiments.Overhead(opt)) }},
+	{"fig11", true, func(opt experiments.Options) {
+		printSeries("Fig. 11: response time of one high-priority client vs. low-priority load (ms)",
+			"low-priority clients", experiments.Fig11(opt)...)
+	}},
+	// fig12 renders both figures from the shared run; fig13 re-runs and
+	// prints only the CPU-share view for users who ask for it alone.
+	{"fig12", true, func(opt experiments.Options) { renderFig12(opt, true, true) }},
+	{"fig13", false, func(opt experiments.Options) { renderFig12(opt, false, true) }},
+	{"fig14", true, func(opt experiments.Options) {
+		printSeries("Fig. 14: server throughput under SYN-flooding attack (req/s)",
+			"SYN rate (1000s/s)", experiments.Fig14(opt)...)
+	}},
+	{"fig14lrp", false, func(opt experiments.Options) {
+		printSeries("Fig. 14 + LRP ablation: server throughput under SYN flood (req/s)",
+			"SYN rate (1000s/s)", experiments.Fig14WithLRP(opt)...)
+	}},
+	{"vservers", true, func(opt experiments.Options) { printTable(experiments.VServers(opt)) }},
+	{"ablate-pruning", true, func(opt experiments.Options) { printTable(experiments.AblatePruning(opt)) }},
+	{"ablate-filter", true, func(opt experiments.Options) { printTable(experiments.AblateFilterPriority(opt)) }},
+	{"ablate-api", true, func(opt experiments.Options) { printTable(experiments.AblateEventAPI(opt)) }},
+	{"ablate-lrp", true, func(opt experiments.Options) { printTable(experiments.AblateLRPCharging(opt)) }},
+	{"ablate-policy", true, func(opt experiments.Options) { printTable(experiments.AblateLeafPolicy(opt)) }},
+	{"smp", true, func(opt experiments.Options) { printTable(experiments.SMP(opt)) }},
+	{"cachewar", true, func(opt experiments.Options) { printTable(experiments.CacheWar(opt)) }},
+	{"diskbound", true, func(opt experiments.Options) {
+		printSeries("Extension: premium-client response time with uncached documents (ms)",
+			"low-priority clients", experiments.DiskBound(opt)...)
+	}},
+	{"tail", true, func(opt experiments.Options) { printTable(experiments.TailLatency(opt)) }},
+	{"apache", true, func(opt experiments.Options) {
+		printSeries("Extension: nice-based QoS (Apache-style, §6) vs. containers — T_high (ms)",
+			"low-priority clients", experiments.Apache(opt)...)
+	}},
+	{"overload", true, func(opt experiments.Options) {
+		printSeries("Extension: served vs. offered load — overload stability (req/s)",
+			"offered (req/s)", experiments.Overload(opt)...)
+	}},
+}
+
+func renderFig12(opt experiments.Options, tput, share bool) {
+	res := experiments.Fig12(opt)
+	if tput {
+		printSeries("Fig. 12: HTTP throughput with competing CGI requests (req/s)",
+			"concurrent CGI requests", res.Throughput...)
+	}
+	if share {
+		printSeries("Fig. 13: CPU share of CGI requests (%)",
+			"concurrent CGI requests", res.CGIShare...)
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run ('all', one name, or a comma-separated list)")
+	quick := flag.Bool("quick", false, "short measurement windows")
+	seed := flag.Int64("seed", 1999, "simulation seed")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+	asCSV = *csvOut
+
+	opt := experiments.Options{Seed: *seed}
+	if *quick {
+		opt.Warmup = sim.Second
+		opt.Window = 2 * sim.Second
+	}
+
+	ran := 0
+	if *exp == "all" {
+		for _, r := range runners {
+			if !r.inAll {
+				continue
+			}
+			fmt.Printf("== %s ==\n", r.name)
+			r.run(opt)
+			fmt.Println()
+			ran++
+		}
+	} else {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		for _, r := range runners {
+			if want[r.name] {
+				r.run(opt)
+				delete(want, r.name)
+				ran++
+			}
+		}
+		if len(want) > 0 {
+			for name := range want {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			}
+			os.Exit(2)
+		}
+	}
+	_ = ran
+}

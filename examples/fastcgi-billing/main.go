@@ -1,0 +1,81 @@
+// FastCGI pool + billing: persistent CGI worker processes serve dynamic
+// requests with the request's container passed *explicitly* across the
+// protection-domain boundary (paper §4.8: "...or explicitly, when
+// persistent CGI server processes are used"), and the guest's accumulated
+// usage is exported as a JSON billing snapshot (§4.8: "sending accurate
+// bills to customers").
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rescon"
+	"rescon/internal/httpsim"
+	"rescon/internal/rc"
+)
+
+func main() {
+	s := rescon.NewSim(rescon.ModeRC, 12)
+
+	// The guest's subtree: server + a CGI sandbox capped at 40%.
+	guest, err := rescon.NewContainer(nil, rescon.FixedShare, "guest", rescon.Attributes{})
+	if err != nil {
+		panic(err)
+	}
+	cgiParent, err := rescon.NewContainer(guest, rescon.FixedShare, "cgi-sandbox",
+		rescon.Attributes{Limit: 0.4})
+	if err != nil {
+		panic(err)
+	}
+
+	srv, err := rescon.NewServer(rescon.ServerConfig{
+		Kernel: s.Kernel, Name: "httpd",
+		Addr:              rescon.Addr("10.0.0.1", 80),
+		API:               rescon.EventAPI,
+		PerConnContainers: true,
+		Parent:            guest,
+		CGIParent:         cgiParent,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if err := srv.Process().DefaultContainer.SetParent(guest); err != nil {
+		panic(err)
+	}
+
+	// Four persistent FastCGI workers instead of fork-per-request.
+	pool, err := httpsim.NewFastCGIPool(srv, 4)
+	if err != nil {
+		panic(err)
+	}
+
+	statics := rescon.StartPopulation(16, rescon.ClientConfig{
+		Kernel: s.Kernel,
+		Src:    rescon.Addr("10.1.0.1", 1024),
+		Dst:    rescon.Addr("10.0.0.1", 80),
+	})
+	rescon.StartPopulation(3, rescon.ClientConfig{
+		Kernel: s.Kernel,
+		Src:    rescon.Addr("10.2.0.1", 1024),
+		Dst:    rescon.Addr("10.0.0.1", 80),
+		Kind:   rescon.CGI,
+		CGICPU: 500 * rescon.Millisecond,
+	})
+
+	s.RunFor(10 * rescon.Second)
+
+	fmt.Printf("static: %.0f req/s   dynamic served by pool: %d (queue %d, idle workers %d)\n\n",
+		statics.Rate(s.Now()), pool.Served, pool.QueueLen(), pool.Idle())
+
+	snap := rc.Capture(guest)
+	bill := snap.Bill()
+	fmt.Printf("guest bill: cpu=%.3fs (user %.3fs / kernel %.3fs)  pkts=%d/%d  drops=%d\n\n",
+		bill.CPUSeconds, bill.UserSeconds, bill.KernSeconds,
+		bill.PacketsIn, bill.PacketsOut, bill.Drops)
+
+	fmt.Println("billing snapshot (JSON):")
+	if err := rc.WriteJSON(os.Stdout, cgiParent); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Virtual servers (paper §5.8): three guest Web servers on one machine —
+// the Rent-A-Server scenario — each rooted in a top-level fixed-share
+// container. However many processes and activities each guest spawns, its
+// total consumption matches its allocation, and each guest subdivides its
+// own share internally (here: a per-guest CGI sandbox).
+package main
+
+import (
+	"fmt"
+
+	"rescon"
+)
+
+func main() {
+	s := rescon.NewSim(rescon.ModeRC, 5)
+
+	shares := []float64{0.50, 0.30, 0.20}
+	type guest struct {
+		root *rescon.Container
+		pop  *rescon.Population
+	}
+	var guests []guest
+
+	for i, share := range shares {
+		// Top-level fixed-share container: the guest's whole subtree is
+		// guaranteed — and capped at — its share.
+		root, err := rescon.NewContainer(nil, rescon.FixedShare,
+			fmt.Sprintf("guest-%d", i+1),
+			rescon.Attributes{Share: share, Limit: share})
+		if err != nil {
+			panic(err)
+		}
+		// Each guest further sandboxes its own CGI work (recursive use of
+		// the hierarchy: the guest administers its subtree).
+		cgiParent, err := rescon.NewContainer(root, rescon.FixedShare, "cgi", rescon.Attributes{})
+		if err != nil {
+			panic(err)
+		}
+
+		addr := rescon.Addr("10.0.0.1", uint16(8001+i))
+		srv, err := rescon.NewServer(rescon.ServerConfig{
+			Kernel: s.Kernel, Name: fmt.Sprintf("guest%d", i+1),
+			Addr:              addr,
+			API:               rescon.SelectAPI,
+			PerConnContainers: true,
+			Parent:            root,
+			CGIParent:         cgiParent,
+		})
+		if err != nil {
+			panic(err)
+		}
+		// The guest's own process lives inside its subtree.
+		if err := srv.Process().DefaultContainer.SetParent(root); err != nil {
+			panic(err)
+		}
+
+		pop := rescon.StartPopulation(16, rescon.ClientConfig{
+			Kernel: s.Kernel,
+			Src:    rescon.Addr(fmt.Sprintf("10.%d.0.1", i+1), 1024),
+			Dst:    addr,
+		})
+		rescon.StartPopulation(1, rescon.ClientConfig{
+			Kernel: s.Kernel,
+			Src:    rescon.Addr(fmt.Sprintf("10.%d.2.1", i+1), 1024),
+			Dst:    addr,
+			Kind:   rescon.CGI,
+			CGICPU: rescon.Second,
+		})
+		guests = append(guests, guest{root: root, pop: pop})
+	}
+
+	s.RunFor(5 * rescon.Second)
+	before := make([]rescon.Duration, len(guests))
+	for i, g := range guests {
+		g.pop.ResetStats()
+		before[i] = g.root.Usage().CPU()
+	}
+	start := s.Now()
+	s.RunFor(20 * rescon.Second)
+	elapsed := s.Now().Sub(start)
+
+	fmt.Println("guest    allocated   consumed   static throughput")
+	for i, g := range guests {
+		used := float64(g.root.Usage().CPU()-before[i]) / float64(elapsed) * 100
+		fmt.Printf("guest-%d  %5.1f%%      %5.1f%%     %6.0f req/s\n",
+			i+1, shares[i]*100, used, g.pop.Rate(s.Now()))
+	}
+}

@@ -1,0 +1,3 @@
+module rescon
+
+go 1.22

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"rescon/internal/httpsim"
+	"rescon/internal/kernel"
+	"rescon/internal/metrics"
+	"rescon/internal/sim"
+	"rescon/internal/workload"
+)
+
+// Baseline reproduces §5.3: the throughput of the event-driven server on
+// the unmodified kernel for 1 KB cached documents, with 1-connection-per-
+// request and persistent-connection HTTP.
+func Baseline(opt Options) *metrics.Table {
+	opt = opt.withDefaults(2*sim.Second, 10*sim.Second)
+	t := metrics.NewTable("§5.3 baseline throughput (unmodified kernel, 1 KB cached file)",
+		"HTTP mode", "Throughput (req/s)", "Paper (req/s)", "CPU cost/request (µs)")
+
+	for _, persistent := range []bool{false, true} {
+		e := newEnv(kernel.ModeUnmodified, opt.Seed)
+		if _, err := httpsim.NewServer(httpsim.Config{
+			Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.SelectAPI,
+		}); err != nil {
+			panic(err)
+		}
+		pop := workload.StartPopulation(32, workload.ClientConfig{
+			Kernel:     e.k,
+			Src:        kernel.Addr("10.1.0.1", 1024),
+			Dst:        ServerAddr,
+			Persistent: persistent,
+		})
+		rate := e.measureRate(pop, opt.Warmup, opt.Window)
+		name, paper := "1 connection/request", 2954.0
+		if persistent {
+			name, paper = "persistent connections", 9487.0
+		}
+		perReq := 0.0
+		if rate > 0 {
+			perReq = 1e6 / rate
+		}
+		t.AddRow(name, rate, paper, perReq)
+	}
+	return t
+}
+
+// Overhead reproduces §5.4's throughput check: with a new resource
+// container created, bound and destroyed for every request (paying the
+// Table-1 syscall costs), throughput stays effectively unchanged.
+func Overhead(opt Options) *metrics.Table {
+	opt = opt.withDefaults(2*sim.Second, 10*sim.Second)
+	t := metrics.NewTable("§5.4 overhead of per-request containers (RC kernel)",
+		"Configuration", "Throughput (req/s)")
+	for _, withContainers := range []bool{false, true} {
+		e := newEnv(kernel.ModeRC, opt.Seed)
+		if _, err := httpsim.NewServer(httpsim.Config{
+			Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.SelectAPI,
+			PerConnContainers:      withContainers,
+			ContainerOpsPerRequest: withContainers,
+		}); err != nil {
+			panic(err)
+		}
+		pop := e.staticClients(32, 0)
+		rate := e.measureRate(pop, opt.Warmup, opt.Window)
+		name := "no per-request containers"
+		if withContainers {
+			name = "container per request (create+bind+destroy)"
+		}
+		t.AddRow(name, rate)
+	}
+	return t
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"rescon/internal/httpsim"
+	"rescon/internal/kernel"
+	"rescon/internal/metrics"
+	"rescon/internal/netsim"
+	"rescon/internal/sim"
+	"rescon/internal/workload"
+)
+
+// DiskBoundPoints is the x axis of the disk-bound extension experiment.
+var DiskBoundPoints = []int{0, 2, 4, 8, 12, 16}
+
+// DiskBound is an extension experiment for §4.4: the same prioritized-
+// client scenario as Fig. 11, but with *uncached* documents, so the disk
+// (~8 ms positioning per request) is the bottleneck instead of the CPU.
+// With resource containers the disk queue is served in container-priority
+// order and the premium client's response time stays near one disk
+// access; on the unmodified kernel the disk queue is FIFO and the premium
+// client waits behind every queued low-priority read.
+func DiskBound(opt Options) []*metrics.Series {
+	opt = opt.withDefaults(2*sim.Second, 10*sim.Second)
+	var out []*metrics.Series
+	for _, mode := range []kernel.Mode{kernel.ModeUnmodified, kernel.ModeRC} {
+		name := "Unmodified (FIFO disk)"
+		if mode == kernel.ModeRC {
+			name = "Resource containers (priority disk)"
+		}
+		s := &metrics.Series{Name: name}
+		for _, n := range DiskBoundPoints {
+			s.Append(float64(n), diskBoundPoint(mode, n, opt))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func diskBoundPoint(mode kernel.Mode, n int, opt Options) float64 {
+	e := newEnv(mode, opt.Seed)
+	srv, err := httpsim.NewServer(httpsim.Config{
+		Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.EventAPI,
+		PerConnContainers: mode == kernel.ModeRC,
+		ConnPriority: func(a netsim.Addr) int {
+			if a.IP == HighPriorityIP {
+				return HighPriority
+			}
+			return LowPriority
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	_ = srv
+
+	lows := workload.StartPopulation(n, workload.ClientConfig{
+		Kernel:   e.k,
+		Src:      netsim.Addr{IP: ClientNet + 1, Port: 1024},
+		Dst:      ServerAddr,
+		Uncached: true,
+	})
+	high := workload.StartClient(workload.ClientConfig{
+		Kernel:   e.k,
+		Src:      netsim.Addr{IP: HighPriorityIP, Port: 1024},
+		Dst:      ServerAddr,
+		Uncached: true,
+		Think:    20 * sim.Millisecond,
+	})
+	_ = lows
+
+	start := e.eng.Now()
+	e.eng.RunUntil(start.Add(opt.Warmup))
+	high.ResetStats()
+	e.eng.RunUntil(start.Add(opt.Warmup + opt.Window))
+	return high.Latency.Mean()
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"rescon/internal/httpsim"
+	"rescon/internal/kernel"
+	"rescon/internal/metrics"
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+)
+
+// Fig12Points is the x axis of Figs. 12 and 13: concurrent CGI requests.
+var Fig12Points = []int{0, 1, 2, 3, 4, 5}
+
+// CGIJobCPU is the CPU one dynamic request consumes ("about 2 seconds",
+// §5.6).
+const CGIJobCPU = 2 * sim.Second
+
+// fig12System describes one curve of Figs. 12/13.
+type fig12System struct {
+	name string
+	mode kernel.Mode
+	// cgiLimit caps the CGI-parent container (0 = no sandbox).
+	cgiLimit float64
+}
+
+var fig12Systems = []fig12System{
+	{"Unmodified System", kernel.ModeUnmodified, 0},
+	{"LRP System", kernel.ModeLRP, 0},
+	{"RC System 1", kernel.ModeRC, 0.30},
+	{"RC System 2", kernel.ModeRC, 0.10},
+}
+
+// Fig12Result carries both figures from the shared run: static-document
+// throughput (Fig. 12) and the CPU share of CGI processing (Fig. 13).
+type Fig12Result struct {
+	Throughput []*metrics.Series // requests/second
+	CGIShare   []*metrics.Series // percent of CPU
+}
+
+// Fig12 reproduces §5.6: the throughput of the Web server for cached
+// 1 KB static documents, and the CPU consumed by CGI processing, as the
+// number of concurrent 2-second CGI requests grows, under four systems.
+func Fig12(opt Options) *Fig12Result {
+	opt = opt.withDefaults(5*sim.Second, 30*sim.Second)
+	res := &Fig12Result{}
+	for _, sys := range fig12Systems {
+		tput := &metrics.Series{Name: sys.name}
+		share := &metrics.Series{Name: sys.name}
+		for _, n := range Fig12Points {
+			r, s := fig12Point(sys, n, opt)
+			tput.Append(float64(n), r)
+			share.Append(float64(n), s)
+		}
+		res.Throughput = append(res.Throughput, tput)
+		res.CGIShare = append(res.CGIShare, share)
+	}
+	return res
+}
+
+// fig12Point returns (static throughput req/s, CGI CPU share %) with n
+// concurrent CGI requests under the given system.
+func fig12Point(sys fig12System, n int, opt Options) (float64, float64) {
+	e := newEnv(sys.mode, opt.Seed)
+	cfg := httpsim.Config{
+		Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.SelectAPI,
+	}
+	if sys.mode == kernel.ModeRC {
+		cfg.PerConnContainers = true
+		if sys.cgiLimit > 0 {
+			// The "resource sandbox": every CGI request container is a
+			// child of a CGI-parent container restricted to a fraction
+			// of the CPU (§5.6).
+			cfg.CGIParent = rc.MustNew(nil, rc.FixedShare, "cgi-parent",
+				rc.Attributes{Limit: sys.cgiLimit})
+		}
+	}
+	srv, err := httpsim.NewServer(cfg)
+	if err != nil {
+		panic(err)
+	}
+
+	statics := e.staticClients(48, 0)
+	if n > 0 {
+		e.cgiClients(n, CGIJobCPU)
+	}
+
+	start := e.eng.Now()
+	e.eng.RunUntil(start.Add(opt.Warmup))
+	statics.ResetStats()
+	cgiBefore := srv.CGICPU()
+	measureStart := e.eng.Now()
+	e.eng.RunUntil(start.Add(opt.Warmup + opt.Window))
+	rate := statics.Rate(e.eng.Now())
+	cgiShare := float64(srv.CGICPU()-cgiBefore) / float64(e.eng.Now().Sub(measureStart)) * 100
+	return rate, cgiShare
+}

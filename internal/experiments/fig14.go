@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"rescon/internal/httpsim"
+	"rescon/internal/kernel"
+	"rescon/internal/metrics"
+	"rescon/internal/netsim"
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+	"rescon/internal/workload"
+)
+
+// Fig14Rates is the x axis of Fig. 14: SYN-flood rate in SYNs/second.
+var Fig14Rates = []float64{0, 2_000, 4_000, 6_000, 8_000, 10_000, 20_000, 30_000, 40_000, 50_000, 60_000, 70_000}
+
+// fig14System describes one curve of Fig. 14 (plus the LRP ablation).
+type fig14System struct {
+	name string
+	mode kernel.Mode
+	// defend installs the §5.7 defense: a filtered listen socket for the
+	// attack prefix bound to a priority-0 container.
+	defend bool
+	// defensePriority lets the ablation driver weaken the defense (a
+	// filter whose container has normal priority).
+	defensePriority int
+}
+
+// Fig14 reproduces §5.7: server throughput for well-behaved clients as a
+// function of the rate of bogus SYNs aimed at the HTTP port, with and
+// without resource containers.
+func Fig14(opt Options) []*metrics.Series {
+	systems := []fig14System{
+		{name: "Unmodified System", mode: kernel.ModeUnmodified},
+		{name: "With Resource Containers", mode: kernel.ModeRC, defend: true},
+	}
+	return fig14Run(systems, Fig14Rates, opt)
+}
+
+// Fig14WithLRP adds the LRP curve the paper argues about in prose ("LRP,
+// in contrast to our system, cannot protect against such SYN floods").
+func Fig14WithLRP(opt Options) []*metrics.Series {
+	systems := []fig14System{
+		{name: "Unmodified System", mode: kernel.ModeUnmodified},
+		{name: "LRP System", mode: kernel.ModeLRP},
+		{name: "With Resource Containers", mode: kernel.ModeRC, defend: true},
+	}
+	return fig14Run(systems, Fig14Rates, opt)
+}
+
+func fig14Run(systems []fig14System, rates []float64, opt Options) []*metrics.Series {
+	opt = opt.withDefaults(2*sim.Second, 5*sim.Second)
+	var out []*metrics.Series
+	for _, sys := range systems {
+		s := &metrics.Series{Name: sys.name}
+		for _, r := range rates {
+			s.Append(r/1000, fig14Point(sys, sim.Rate(r), opt))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// fig14Point returns good-client throughput (req/s) under a SYN flood of
+// the given rate.
+func fig14Point(sys fig14System, rate sim.Rate, opt Options) float64 {
+	e := newEnv(sys.mode, opt.Seed)
+	srv, err := httpsim.NewServer(httpsim.Config{
+		Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.EventAPI,
+		PerConnContainers: sys.mode == kernel.ModeRC,
+	})
+	if err != nil {
+		panic(err)
+	}
+	if sys.defend {
+		// §5.7/§4.8: isolate the misbehaving clients on a filtered listen
+		// socket bound to a container with numeric priority zero, so
+		// their connection-request processing happens only when the CPU
+		// would otherwise be idle.
+		prio := sys.defensePriority // zero unless the ablation raises it
+		floodCont := rc.MustNew(nil, rc.TimeShare, "attackers",
+			rc.Attributes{Priority: prio})
+		if _, err := srv.AddListener(netsim.Filter{Template: AttackNet, MaskBits: 8}, floodCont); err != nil {
+			panic(err)
+		}
+	}
+
+	good := workload.StartPopulation(32, workload.ClientConfig{
+		Kernel: e.k,
+		Src:    netsim.Addr{IP: ClientNet + 1, Port: 1024},
+		Dst:    ServerAddr,
+	})
+	if rate > 0 {
+		workload.StartFlood(e.k, rate, AttackNet+1, 4096, ServerAddr)
+	}
+	return e.measureRate(good, opt.Warmup, opt.Window)
+}

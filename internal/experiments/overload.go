@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"rescon/internal/httpsim"
+	"rescon/internal/kernel"
+	"rescon/internal/metrics"
+	"rescon/internal/netsim"
+	"rescon/internal/sim"
+	"rescon/internal/workload"
+)
+
+// OverloadRates is the offered-load axis of the overload-stability
+// extension experiment, in requests/second.
+var OverloadRates = []float64{1000, 2000, 3000, 4000, 6000, 8000, 10000}
+
+// Overload is an extension experiment beyond the paper's figures: served
+// throughput as a function of *offered* open-loop load under the three
+// kernels. It reproduces the §3.2 background claims the paper builds on:
+// the interrupt-driven baseline suffers receive livelock under overload
+// (throughput collapses past saturation, [30]), while LRP and RC shed
+// excess load at early demultiplexing and hold peak throughput ([15]).
+func Overload(opt Options) []*metrics.Series {
+	opt = opt.withDefaults(2*sim.Second, 5*sim.Second)
+	var out []*metrics.Series
+	for _, mode := range []kernel.Mode{kernel.ModeUnmodified, kernel.ModeLRP, kernel.ModeRC} {
+		s := &metrics.Series{Name: mode.String() + " System"}
+		for _, rate := range OverloadRates {
+			s.Append(rate, overloadPoint(mode, sim.Rate(rate), opt))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func overloadPoint(mode kernel.Mode, offered sim.Rate, opt Options) float64 {
+	e := newEnv(mode, opt.Seed)
+	_, err := httpsim.NewServer(httpsim.Config{
+		Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.SelectAPI,
+		PerConnContainers: mode == kernel.ModeRC,
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Spread the offered load over 8 source hosts so no single client's
+	// outstanding cap distorts the arrival process.
+	perClient := sim.Rate(float64(offered) / 8)
+	var clients []*workload.OpenLoopClient
+	for i := 0; i < 8; i++ {
+		clients = append(clients, workload.StartOpenLoop(workload.OpenLoopConfig{
+			Kernel:         e.k,
+			Src:            netsim.Addr{IP: ClientNet + netsim.IP(1+i), Port: 1024},
+			Dst:            ServerAddr,
+			Rate:           perClient,
+			MaxOutstanding: 1 << 20, // effectively uncapped: offered rate is the law
+			Timeout:        sim.Second,
+		}))
+	}
+	start := e.eng.Now()
+	e.eng.RunUntil(start.Add(opt.Warmup))
+	for _, c := range clients {
+		c.ResetStats()
+	}
+	e.eng.RunUntil(start.Add(opt.Warmup + opt.Window))
+	var total float64
+	for _, c := range clients {
+		total += c.Completions.Rate(e.eng.Now())
+	}
+	return total
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+// sscan parses the first float out of a rendered table cell.
+func sscan(s string, v *float64) (int, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parse %q: %w", s, err)
+	}
+	*v = f
+	return 1, nil
+}
+
+func mustParse(t *testing.T, s string, v *float64) {
+	t.Helper()
+	if _, err := sscan(s, v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"rescon/internal/httpsim"
+	"rescon/internal/metrics"
+	"rescon/internal/netsim"
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+	"rescon/internal/workload"
+)
+
+// TailLatency is a modern re-reading of Fig. 11: the paper reports the
+// premium client's *mean* response time, but for interactive services the
+// tail is what matters. Same scenario at full load (35 low-priority
+// clients), reporting mean / p95 / p99 / max for each system. Containers
+// do not just lower the mean — they remove the tail, because the premium
+// client's processing never waits behind low-priority backlogs at any
+// layer.
+func TailLatency(opt Options) *metrics.Table {
+	opt = opt.withDefaults(2*sim.Second, 20*sim.Second)
+	t := metrics.NewTable("Extension: premium-client latency distribution at 35 low-priority clients (ms)",
+		"System", "mean", "p95", "p99", "max")
+	for _, sys := range fig11Systems {
+		s := tailPoint(sys, 35, opt)
+		t.AddRow(sys.name, s.Mean(), s.Quantile(0.95), s.Quantile(0.99), s.Max())
+	}
+	return t
+}
+
+// tailPoint runs one fig11-style configuration and returns the premium
+// client's latency summary.
+func tailPoint(sys fig11System, n int, opt Options) *metrics.Summary {
+	e := newEnv(sys.mode, opt.Seed)
+	srv, err := httpsim.NewServer(httpsim.Config{
+		Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: sys.api,
+		PerConnContainers: sys.containers,
+		ConnPriority: func(a netsim.Addr) int {
+			if a.IP == HighPriorityIP {
+				return HighPriority
+			}
+			return LowPriority
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if sys.premiumSocket {
+		hiCont := rc.MustNew(nil, rc.TimeShare, "premium",
+			rc.Attributes{Priority: HighPriority})
+		if _, err := srv.AddListener(netsim.Filter{Template: HighPriorityIP, MaskBits: 32}, hiCont); err != nil {
+			panic(err)
+		}
+	}
+	workload.StartPopulation(n, workload.ClientConfig{
+		Kernel: e.k,
+		Src:    netsim.Addr{IP: ClientNet + 1, Port: 1024},
+		Dst:    ServerAddr,
+		Think:  5 * sim.Millisecond,
+	})
+	high := workload.StartClient(workload.ClientConfig{
+		Kernel: e.k,
+		Src:    netsim.Addr{IP: HighPriorityIP, Port: 1024},
+		Dst:    ServerAddr,
+		Think:  5 * sim.Millisecond,
+	})
+	start := e.eng.Now()
+	e.eng.RunUntil(start.Add(opt.Warmup))
+	high.ResetStats()
+	e.eng.RunUntil(start.Add(opt.Warmup + opt.Window))
+	return &high.Latency
+}

@@ -1,0 +1,246 @@
+package httpsim_test
+
+import (
+	"testing"
+
+	"rescon/internal/httpsim"
+	"rescon/internal/kernel"
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+	"rescon/internal/workload"
+)
+
+func TestFastCGIPoolServesDynamicRequests(t *testing.T) {
+	eng, k := newSim(kernel.ModeRC)
+	srv, err := httpsim.NewServer(httpsim.Config{
+		Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.SelectAPI,
+		PerConnContainers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := httpsim.NewFastCGIPool(srv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := workload.StartPopulation(4, workload.ClientConfig{
+		Kernel: k,
+		Src:    kernel.Addr("10.1.0.1", 1024),
+		Dst:    srvAddr,
+		Kind:   httpsim.CGI,
+		CGICPU: 10 * sim.Millisecond,
+	})
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	if pool.Served < 50 {
+		t.Fatalf("pool served %d dynamic requests", pool.Served)
+	}
+	// Completion (wire delivery) and the worker's bookkeeping item are
+	// separate events, so the two counters may differ by the requests in
+	// flight at the measurement instant.
+	if diff := int64(pop.Completed()) - int64(pool.Served); diff < -2 || diff > 2 {
+		t.Fatalf("client completions %d vs pool served %d", pop.Completed(), pool.Served)
+	}
+	if pool.CPUTime() < sim.Duration(pool.Served)*9*sim.Millisecond {
+		t.Fatalf("pool CPU %v too low for %d 10ms jobs", pool.CPUTime(), pool.Served)
+	}
+}
+
+func TestFastCGIPoolQueuesWhenSaturated(t *testing.T) {
+	eng, k := newSim(kernel.ModeRC)
+	srv, err := httpsim.NewServer(httpsim.Config{
+		Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.SelectAPI,
+		PerConnContainers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := httpsim.NewFastCGIPool(srv, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 concurrent long jobs against 1 worker: some must queue.
+	workload.StartPopulation(4, workload.ClientConfig{
+		Kernel: k,
+		Src:    kernel.Addr("10.1.0.1", 1024),
+		Dst:    srvAddr,
+		Kind:   httpsim.CGI,
+		CGICPU: 500 * sim.Millisecond,
+	})
+	eng.RunUntil(sim.Time(300 * sim.Millisecond))
+	if pool.QueueLen() == 0 {
+		t.Fatal("expected queued jobs with a single busy worker")
+	}
+	if pool.Idle() != 0 {
+		t.Fatal("worker should be busy")
+	}
+	eng.RunUntil(sim.Time(5 * sim.Second))
+	if pool.Served < 4 {
+		t.Fatalf("served %d", pool.Served)
+	}
+}
+
+func TestFastCGISandboxCap(t *testing.T) {
+	// The FastCGI pool honors the CGI-parent sandbox exactly like forked
+	// CGI: persistent workers' computation is charged to per-request
+	// containers under the capped parent.
+	eng, k := newSim(kernel.ModeRC)
+	cgiParent := rc.MustNew(nil, rc.FixedShare, "cgi-parent", rc.Attributes{Limit: 0.25})
+	srv, err := httpsim.NewServer(httpsim.Config{
+		Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.SelectAPI,
+		PerConnContainers: true,
+		CGIParent:         cgiParent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := httpsim.NewFastCGIPool(srv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statics := workload.StartPopulation(32, workload.ClientConfig{
+		Kernel: k,
+		Src:    kernel.Addr("10.1.0.1", 1024),
+		Dst:    srvAddr,
+	})
+	workload.StartPopulation(2, workload.ClientConfig{
+		Kernel: k,
+		Src:    kernel.Addr("10.2.0.1", 1024),
+		Dst:    srvAddr,
+		Kind:   httpsim.CGI,
+		CGICPU: 2 * sim.Second,
+	})
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	statics.ResetStats()
+	cpuBefore := pool.CPUTime()
+	start := eng.Now()
+	eng.RunUntil(sim.Time(10 * sim.Second))
+	share := float64(pool.CPUTime()-cpuBefore) / float64(eng.Now().Sub(start))
+	if share > 0.27 || share < 0.20 {
+		t.Fatalf("pool CPU share %.3f, want ~0.25 (sandbox cap)", share)
+	}
+	if rate := statics.Rate(eng.Now()); rate < 1800 {
+		t.Fatalf("static throughput %.0f under capped FastCGI load", rate)
+	}
+}
+
+func TestFastCGIBadPoolSize(t *testing.T) {
+	_, k := newSim(kernel.ModeRC)
+	srv, err := httpsim.NewServer(httpsim.Config{
+		Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.SelectAPI,
+		PerConnContainers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := httpsim.NewFastCGIPool(srv, 0); err == nil {
+		t.Fatal("zero-size pool should fail")
+	}
+}
+
+func TestInProcessModuleRequests(t *testing.T) {
+	// ISAPI/NSAPI-style dynamic modules run inside the server process,
+	// charged to the connection's container (§4.8).
+	eng, k := newSim(kernel.ModeRC)
+	srv, err := httpsim.NewServer(httpsim.Config{
+		Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.EventAPI,
+		PerConnContainers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := workload.StartPopulation(2, workload.ClientConfig{
+		Kernel: k,
+		Src:    kernel.Addr("10.1.0.1", 1024),
+		Dst:    srvAddr,
+		Kind:   httpsim.Module,
+		CGICPU: 5 * sim.Millisecond,
+	})
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	if pop.Completed() < 100 {
+		t.Fatalf("module requests completed: %d", pop.Completed())
+	}
+	// All computation happened in the server process: no CGI processes.
+	if srv.CGICPU() != 0 {
+		t.Fatalf("in-process modules must not spawn CGI processes (CGI CPU %v)", srv.CGICPU())
+	}
+	if srv.Process().CPUTime() < sim.Duration(pop.Completed())*5*sim.Millisecond {
+		t.Fatal("module CPU not charged to server process")
+	}
+}
+
+func TestModuleVsCGIOverhead(t *testing.T) {
+	// The point of library modules (§2): less overhead than fork-per-
+	// request CGI for the same computation.
+	run := func(kind httpsim.RequestKind) uint64 {
+		eng, k := newSim(kernel.ModeRC)
+		if _, err := httpsim.NewServer(httpsim.Config{
+			Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.SelectAPI,
+			PerConnContainers: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		pop := workload.StartPopulation(4, workload.ClientConfig{
+			Kernel: k,
+			Src:    kernel.Addr("10.1.0.1", 1024),
+			Dst:    srvAddr,
+			Kind:   kind,
+			CGICPU: sim.Millisecond,
+		})
+		eng.RunUntil(sim.Time(2 * sim.Second))
+		return pop.Completed()
+	}
+	mod, cgi := run(httpsim.Module), run(httpsim.CGI)
+	if mod <= cgi {
+		t.Fatalf("modules (%d) should outperform forked CGI (%d)", mod, cgi)
+	}
+}
+
+func TestUncachedRequestsUseDisk(t *testing.T) {
+	eng, k := newSim(kernel.ModeRC)
+	srv, err := httpsim.NewServer(httpsim.Config{
+		Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.EventAPI,
+		PerConnContainers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := workload.StartClient(workload.ClientConfig{
+		Kernel:   k,
+		Src:      kernel.Addr("10.1.0.1", 1024),
+		Dst:      srvAddr,
+		Uncached: true,
+		Think:    sim.Millisecond,
+	})
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	if cl.Meter.Count() < 50 {
+		t.Fatalf("uncached requests completed: %d", cl.Meter.Count())
+	}
+	if k.Disk().Served() < cl.Meter.Count() {
+		t.Fatalf("disk served %d < completions %d", k.Disk().Served(), cl.Meter.Count())
+	}
+	// Each uncached response includes at least one seek: latency is
+	// dominated by the disk, not the CPU.
+	if cl.Latency.Mean() < 8 { // ms
+		t.Fatalf("uncached latency %.2f ms, expected >= seek time", cl.Latency.Mean())
+	}
+	_ = srv
+}
+
+func TestCachedRequestsSkipDisk(t *testing.T) {
+	eng, k := newSim(kernel.ModeRC)
+	if _, err := httpsim.NewServer(httpsim.Config{
+		Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.EventAPI,
+		PerConnContainers: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	workload.StartPopulation(2, workload.ClientConfig{
+		Kernel: k,
+		Src:    kernel.Addr("10.1.0.1", 1024),
+		Dst:    srvAddr,
+	})
+	eng.RunUntil(sim.Time(sim.Second))
+	if k.Disk().Served() != 0 {
+		t.Fatalf("cached workload touched the disk: %d reads", k.Disk().Served())
+	}
+}

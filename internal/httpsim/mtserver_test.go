@@ -1,0 +1,163 @@
+package httpsim_test
+
+import (
+	"testing"
+
+	"rescon/internal/httpsim"
+	"rescon/internal/kernel"
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+	"rescon/internal/workload"
+)
+
+func TestMTServerServesLoad(t *testing.T) {
+	eng, k := newSim(kernel.ModeRC)
+	srv, err := httpsim.NewMTServer(httpsim.Config{
+		Kernel: k, Name: "mt", Addr: srvAddr,
+		PerConnContainers: true,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := workload.StartPopulation(8, workload.ClientConfig{
+		Kernel: k,
+		Src:    kernel.Addr("10.1.0.1", 1024),
+		Dst:    srvAddr,
+	})
+	eng.RunUntil(sim.Time(2 * sim.Second))
+	if pop.Completed() < 1000 {
+		t.Fatalf("completed %d", pop.Completed())
+	}
+	if srv.StaticServed < 1000 {
+		t.Fatalf("served %d", srv.StaticServed)
+	}
+	if srv.OpenConns() < 0 || srv.OpenConns() > 8 {
+		t.Fatalf("open conns %d", srv.OpenConns())
+	}
+	if srv.Process().CPUTime() == 0 {
+		t.Fatal("no CPU consumed")
+	}
+}
+
+func TestMTServerBadPoolSize(t *testing.T) {
+	_, k := newSim(kernel.ModeRC)
+	if _, err := httpsim.NewMTServer(httpsim.Config{Kernel: k, Name: "mt", Addr: srvAddr}, 0); err == nil {
+		t.Fatal("zero threads should fail")
+	}
+}
+
+func TestMTServerPerConnContainerCharging(t *testing.T) {
+	// Fig. 9: each connection's work is charged to its own container,
+	// dedicated thread per connection.
+	eng, k := newSim(kernel.ModeRC)
+	parent := rc.MustNew(nil, rc.FixedShare, "guest", rc.Attributes{})
+	_, err := httpsim.NewMTServer(httpsim.Config{
+		Kernel: k, Name: "mt", Addr: srvAddr,
+		PerConnContainers: true,
+		Parent:            parent,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := workload.StartPopulation(2, workload.ClientConfig{
+		Kernel:     k,
+		Src:        kernel.Addr("10.1.0.1", 1024),
+		Dst:        srvAddr,
+		Persistent: true,
+		Think:      sim.Millisecond,
+	})
+	eng.RunUntil(sim.Time(sim.Second))
+	if pop.Completed() < 100 {
+		t.Fatalf("completed %d", pop.Completed())
+	}
+	// All per-connection user work landed under the guest.
+	if parent.Usage().CPUUser == 0 {
+		t.Fatal("no user CPU charged to guest subtree")
+	}
+	if len(parent.Children()) == 0 {
+		t.Fatal("no per-connection containers under guest")
+	}
+}
+
+func TestMTServerPriorityBetweenConnections(t *testing.T) {
+	// Two persistent connections at different priorities, with a CPU-heavy
+	// in-process module per request: the high-priority connection's thread
+	// wins the CPU (§4.8 Fig. 9 discussion).
+	eng, k := newSim(kernel.ModeRC)
+	hiIP := kernel.Addr("10.9.9.9", 0).IP
+	_, err := httpsim.NewMTServer(httpsim.Config{
+		Kernel: k, Name: "mt", Addr: srvAddr,
+		PerConnContainers: true,
+		ConnPriority: func(a kernel.Address) int {
+			if a.IP == hiIP {
+				return 30
+			}
+			return 1
+		},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(ip string) *workload.Client {
+		return workload.StartClient(workload.ClientConfig{
+			Kernel:     k,
+			Src:        kernel.Addr(ip, 1024),
+			Dst:        srvAddr,
+			Persistent: true,
+			Kind:       httpsim.Module,
+			CGICPU:     2 * sim.Millisecond,
+		})
+	}
+	lo := mk("10.1.0.1")
+	hi := mk("10.9.9.9")
+	eng.RunUntil(sim.Time(4 * sim.Second))
+	if hi.Meter.Count() < lo.Meter.Count() {
+		t.Fatalf("high-priority conn served less: hi=%d lo=%d", hi.Meter.Count(), lo.Meter.Count())
+	}
+	// Weighted 30:1, both closed-loop: the high client should get the
+	// bulk of the module CPU.
+	ratio := float64(hi.Meter.Count()) / float64(lo.Meter.Count())
+	if ratio < 2 {
+		t.Fatalf("priority ratio %.2f, want well above 1", ratio)
+	}
+}
+
+func TestRequestConstructors(t *testing.T) {
+	r := httpsim.StaticRequest(true, nil)
+	if r.Kind != httpsim.Static || !r.CloseAfter || r.Size != 1024 {
+		t.Fatalf("StaticRequest %+v", r)
+	}
+	c := httpsim.CGIRequest(sim.Second, nil)
+	if c.Kind != httpsim.CGI || c.CGICPU != sim.Second {
+		t.Fatalf("CGIRequest %+v", c)
+	}
+	m := httpsim.ModuleRequest(sim.Millisecond, nil)
+	if m.Kind != httpsim.Module || m.CGICPU != sim.Millisecond {
+		t.Fatalf("ModuleRequest %+v", m)
+	}
+}
+
+func TestServerAccessors(t *testing.T) {
+	_, k := newSim(kernel.ModeRC)
+	srv, err := httpsim.NewServer(httpsim.Config{
+		Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.EventAPI,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.ListenSocket() == nil {
+		t.Fatal("no default listen socket")
+	}
+	cont := rc.MustNew(nil, rc.TimeShare, "extra", rc.Attributes{Priority: 3})
+	ls, err := srv.AddListener(kernel.FilterCIDR("11.0.0.0", 8), cont)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Container() != cont {
+		t.Fatal("listener container not bound")
+	}
+	// Duplicate (same filter) must fail.
+	if _, err := srv.AddListener(kernel.FilterCIDR("11.0.0.0", 8), cont); err == nil {
+		t.Fatal("duplicate filtered listener should fail")
+	}
+}

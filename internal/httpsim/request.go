@@ -1,0 +1,76 @@
+// Package httpsim implements the server application models of paper §2
+// on top of the simulated kernel:
+//
+//   - the single-process event-driven server (Fig. 2/10), with both the
+//     select() interface and the scalable event API of [5] (§5.5);
+//   - the single-process multi-threaded server (Fig. 3/9);
+//   - the process-per-connection server with a pre-forked worker pool
+//     (Fig. 1, the NCSA architecture), including nice-based QoS (§6);
+//   - CGI handling by auxiliary processes (§5.6), optionally sandboxed
+//     under a capped parent container, by persistent FastCGI worker
+//     pools with explicit container passing, or by in-process library
+//     modules (ISAPI/NSAPI style).
+//
+// Servers speak the kernel's upcall interface (accept/request
+// notifications) and express all their CPU consumption as work items, so
+// every mode's accounting (unmodified, LRP, resource containers) applies
+// to them exactly as it would to a real application.
+package httpsim
+
+import (
+	"rescon/internal/sim"
+)
+
+// RequestKind distinguishes static documents from dynamic (CGI)
+// resources.
+type RequestKind int
+
+const (
+	// Static is a cached static document served by the main process.
+	Static RequestKind = iota
+	// CGI is a dynamic resource served by an auxiliary process.
+	CGI
+	// Module is a dynamic resource served by an in-process library module
+	// (ISAPI/NSAPI style, §2): no fault isolation, minimal overhead.
+	Module
+)
+
+// Request is the payload of a request packet.
+type Request struct {
+	// Kind selects the handling path.
+	Kind RequestKind
+	// Size is the response size in bytes (the paper uses 1 KB documents).
+	Size int
+	// Uncached marks a static document not in the filesystem cache: the
+	// server must read it from disk, with the disk time charged to the
+	// connection's container (§4.4 disk bandwidth).
+	Uncached bool
+	// Path, when non-empty, identifies the document in the filesystem
+	// cache: the server consults the cache, faulting the document in from
+	// disk on a miss (its memory charged to the server/guest container,
+	// §4.4 physical memory). Overrides Uncached.
+	Path string
+	// CGICPU is the CPU the CGI process consumes to produce a dynamic
+	// response (the paper uses about 2 seconds, §5.6).
+	CGICPU sim.Duration
+	// CloseAfter requests connection teardown after the response
+	// (1 connection/request HTTP). Persistent connections leave it false.
+	CloseAfter bool
+	// OnResponse is the client's delivery callback.
+	OnResponse func(at sim.Time)
+}
+
+// StaticRequest builds a 1 KB static-document request.
+func StaticRequest(closeAfter bool, onResponse func(sim.Time)) *Request {
+	return &Request{Kind: Static, Size: 1024, CloseAfter: closeAfter, OnResponse: onResponse}
+}
+
+// CGIRequest builds a dynamic-resource request.
+func CGIRequest(cpu sim.Duration, onResponse func(sim.Time)) *Request {
+	return &Request{Kind: CGI, Size: 1024, CGICPU: cpu, CloseAfter: true, OnResponse: onResponse}
+}
+
+// ModuleRequest builds an in-process dynamic-resource request.
+func ModuleRequest(cpu sim.Duration, onResponse func(sim.Time)) *Request {
+	return &Request{Kind: Module, Size: 1024, CGICPU: cpu, CloseAfter: true, OnResponse: onResponse}
+}

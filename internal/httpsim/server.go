@@ -1,0 +1,479 @@
+package httpsim
+
+import (
+	"fmt"
+
+	"rescon/internal/kernel"
+	"rescon/internal/netsim"
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+)
+
+// API selects the event-notification interface the server uses (§5.5).
+type API int
+
+const (
+	// SelectAPI models select(): each call scans the full interest set
+	// (cost linear in open descriptors) and the application handles the
+	// returned batch in descriptor order, not priority order.
+	SelectAPI API = iota
+	// EventAPI models the scalable event API of [5]: constant-cost event
+	// retrieval, and with resource containers the kernel returns events
+	// in container-priority order.
+	EventAPI
+)
+
+// String names the API.
+func (a API) String() string {
+	if a == SelectAPI {
+		return "select()"
+	}
+	return "event API"
+}
+
+// Config configures an event-driven server.
+type Config struct {
+	Kernel *kernel.Kernel
+	Name   string
+	Addr   netsim.Addr
+	API    API
+
+	// PerConnContainers creates one resource container per connection
+	// (§4.8), priority from ConnPriority. ModeRC only.
+	PerConnContainers bool
+	// ConnPriority maps a client address to the numeric priority of its
+	// connection container; nil means kernel.DefaultPriority.
+	ConnPriority func(netsim.Addr) int
+	// ContainerOpsPerRequest additionally pays the Table-1 syscall costs
+	// for the per-request container churn (create + rebind + destroy),
+	// the §5.4 overhead experiment.
+	ContainerOpsPerRequest bool
+	// CGIParent, when set, parents every CGI request container (the
+	// "resource sandbox" of §5.6). ModeRC only.
+	CGIParent *rc.Container
+	// Parent, when set, parents every per-connection container (virtual
+	// server / guest configurations, §5.8). ModeRC only.
+	Parent *rc.Container
+	// CacheContainer, when set, is charged for the memory of documents
+	// this server faults into the filesystem cache; its MemLimit is the
+	// server's cache quota (§4.4). Defaults to Parent, then the process
+	// default container.
+	CacheContainer *rc.Container
+	// OnSynDrop is the application's notification when the kernel drops
+	// a connection request because of queue overflow — the modified
+	// kernel's SYN-flood signal (§5.7).
+	OnSynDrop func(src netsim.Addr)
+	// Listeners other than the default can be added with AddListener.
+	AcceptBacklog int
+}
+
+// event is one pending notification in the application.
+type event struct {
+	// accept event when ls != nil, request event otherwise.
+	ls   *kernel.ListenSocket
+	conn *kernel.Conn
+	req  *Request
+	seq  uint64
+	fd   int
+}
+
+// Server is the single-process event-driven server (Fig. 2/10).
+type Server struct {
+	cfg    Config
+	k      *kernel.Kernel
+	proc   *kernel.Process
+	thread *kernel.Thread
+	ls     *kernel.ListenSocket
+
+	pending   []*event
+	nextSeq   uint64
+	openConns int
+	busy      bool
+	fcgi      *FastCGIPool
+
+	// Stats
+	StaticServed uint64
+	CGIServed    uint64
+	CGIActive    int
+	cgiLive      map[*kernel.Process]bool
+	cgiCPUDone   sim.Duration
+}
+
+// CGICPU returns the total CPU consumed by the server's CGI processes so
+// far, including processes still running (Fig. 13's y axis).
+func (s *Server) CGICPU() sim.Duration {
+	total := s.cgiCPUDone
+	for p := range s.cgiLive {
+		total += p.CPUTime()
+	}
+	return total
+}
+
+// NewServer creates and binds the server. The returned server is running:
+// it reacts to kernel upcalls as soon as the simulation delivers them.
+func NewServer(cfg Config) (*Server, error) {
+	s := &Server{cfg: cfg, k: cfg.Kernel}
+	s.proc = s.k.NewProcess(cfg.Name)
+	s.thread = s.proc.NewThread("main")
+	var err error
+	s.ls, err = s.listen(cfg.Addr, netsim.Wildcard, nil, cfg.AcceptBacklog)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Process returns the server's process.
+func (s *Server) Process() *kernel.Process { return s.proc }
+
+// ListenSocket returns the server's default listening socket.
+func (s *Server) ListenSocket() *kernel.ListenSocket { return s.ls }
+
+// AddListener binds an additional (typically filtered) listening socket
+// with its own container — the §4.8/§5.7 mechanism.
+func (s *Server) AddListener(filter netsim.Filter, cont *rc.Container) (*kernel.ListenSocket, error) {
+	return s.listen(s.cfg.Addr, filter, cont, s.cfg.AcceptBacklog)
+}
+
+func (s *Server) listen(addr netsim.Addr, filter netsim.Filter, cont *rc.Container, backlog int) (*kernel.ListenSocket, error) {
+	return s.k.Listen(s.proc, kernel.ListenConfig{
+		Local:         addr,
+		Filter:        filter,
+		Container:     cont,
+		AcceptBacklog: backlog,
+		OnAcceptable:  func(ls *kernel.ListenSocket) { s.post(&event{ls: ls, fd: 0}) },
+		OnSynDrop:     s.cfg.OnSynDrop,
+	})
+}
+
+// post records a pending application event and starts the main loop if it
+// is idle.
+func (s *Server) post(ev *event) {
+	ev.seq = s.nextSeq
+	s.nextSeq++
+	s.pending = append(s.pending, ev)
+	s.loop()
+}
+
+// defaultContainer is the charge target for work not yet attributable to
+// a connection.
+func (s *Server) defaultContainer() *rc.Container { return s.proc.DefaultContainer }
+
+func (s *Server) rcMode() bool { return s.k.Mode() == kernel.ModeRC }
+
+// loop drives the event-handling cycle when the server has work and is
+// not already in one.
+func (s *Server) loop() {
+	if s.busy || len(s.pending) == 0 {
+		return
+	}
+	s.busy = true
+	switch s.cfg.API {
+	case SelectAPI:
+		s.selectCycle()
+	default:
+		s.pollCycle()
+	}
+}
+
+// selectCycle: one select() call, then handle the returned batch in fd
+// order.
+func (s *Server) selectCycle() {
+	costs := s.k.Costs()
+	cost := costs.SelectBase + sim.Duration(s.openConns+1)*costs.SelectPerFD
+	s.thread.PostFunc("select", cost, rc.KernelCPU, s.defaultContainer(), func() {
+		batch := s.pending
+		s.pending = nil
+		// select() reports readiness as a bitmap, so the application
+		// scans and handles the batch in descriptor order — this loss of
+		// priority information is the inefficiency "inherent in the
+		// semantics of the select() API" that §5.5 measures and the new
+		// event API removes.
+		sortEvents(batch)
+		s.runBatch(batch, 0)
+	})
+}
+
+func sortEvents(evs []*event) {
+	// Insertion sort by (fd, arrival): batches are small and this keeps
+	// ordering stable and allocation-free.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := evs[j-1], evs[j]
+			if a.fd > b.fd || (a.fd == b.fd && a.seq > b.seq) {
+				evs[j-1], evs[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func (s *Server) runBatch(batch []*event, i int) {
+	if i >= len(batch) {
+		s.busy = false
+		s.loop()
+		return
+	}
+	s.handle(batch[i], func() { s.runBatch(batch, i+1) })
+}
+
+// pollCycle: one event-API call returning the single best event. With
+// resource containers the kernel orders events by container priority;
+// without them it is FIFO.
+func (s *Server) pollCycle() {
+	s.thread.PostFunc("getevent", s.k.Costs().EventPoll, rc.KernelCPU, s.defaultContainer(), func() {
+		ev := s.takeBest()
+		if ev == nil {
+			s.busy = false
+			return
+		}
+		s.handle(ev, func() {
+			s.busy = false
+			s.loop()
+		})
+	})
+}
+
+func (s *Server) takeBest() *event {
+	if len(s.pending) == 0 {
+		return nil
+	}
+	best := 0
+	if s.rcMode() {
+		for i := 1; i < len(s.pending); i++ {
+			if s.eventPriority(s.pending[i]) > s.eventPriority(s.pending[best]) {
+				best = i
+			}
+		}
+	}
+	ev := s.pending[best]
+	s.pending = append(s.pending[:best], s.pending[best+1:]...)
+	return ev
+}
+
+func (s *Server) eventPriority(ev *event) int {
+	var c *rc.Container
+	if ev.ls != nil {
+		c = ev.ls.Container()
+	} else if ev.conn != nil {
+		c = ev.conn.Container()
+	}
+	if c == nil {
+		return 0
+	}
+	return c.EffectivePriority()
+}
+
+// handle dispatches one event and calls next when its synchronous work
+// completes (response transmission continues asynchronously).
+func (s *Server) handle(ev *event, next func()) {
+	if ev.ls != nil {
+		s.handleAccept(ev.ls, next)
+		return
+	}
+	s.handleRequest(ev.conn, ev.req, next)
+}
+
+func (s *Server) handleAccept(ls *kernel.ListenSocket, next func()) {
+	costs := s.k.Costs()
+	cost := costs.ConnSetup
+	if s.rcMode() && s.cfg.PerConnContainers && s.cfg.ContainerOpsPerRequest {
+		// create container + bind socket + (later) destroy: Table 1 costs.
+		cost += costs.ContainerCreate + costs.ContainerRebind + costs.ContainerDestroy
+	}
+	s.thread.PostFunc("accept", cost, rc.KernelCPU, ls.Container(), func() {
+		conn, ok := ls.Accept()
+		if !ok {
+			next()
+			return
+		}
+		s.openConns++
+		if s.rcMode() && s.cfg.PerConnContainers {
+			prio := kernel.DefaultPriority
+			if s.cfg.ConnPriority != nil {
+				prio = s.cfg.ConnPriority(conn.Client())
+			} else if ls.Container() != nil {
+				// Inherit the listening socket's priority class.
+				prio = ls.Container().EffectivePriority()
+			}
+			cc, err := rc.New(s.cfg.Parent, rc.TimeShare,
+				fmt.Sprintf("conn-%d", conn.ID()), rc.Attributes{Priority: prio})
+			if err == nil {
+				conn.SetContainer(cc)
+			}
+		}
+		conn.SetOnRequest(func(c *kernel.Conn, payload any) {
+			req, ok := payload.(*Request)
+			if !ok {
+				return
+			}
+			s.post(&event{conn: c, req: req, fd: c.FD()})
+		})
+		next()
+	})
+}
+
+func (s *Server) handleRequest(conn *kernel.Conn, req *Request, next func()) {
+	if conn.Closed() {
+		next()
+		return
+	}
+	switch req.Kind {
+	case CGI:
+		s.handleCGI(conn, req, next)
+	case Module:
+		s.handleModule(conn, req, next)
+	default:
+		s.handleStatic(conn, req, next)
+	}
+}
+
+// handleModule serves a dynamic resource with an in-process library
+// module (ISAPI/NSAPI style, §2). No fault isolation, no process switch:
+// the server "simply binds its thread to the appropriate container"
+// (§4.8), so the dynamic computation is charged to the request's
+// activity.
+func (s *Server) handleModule(conn *kernel.Conn, req *Request, next func()) {
+	s.thread.PostFunc("module", req.CGICPU, rc.UserCPU, conn.Container(), func() {
+		conn.Send(s.thread, req.Size, conn.Container(), func() {
+			if req.OnResponse != nil {
+				req.OnResponse(s.k.Now())
+			}
+		})
+		if req.CloseAfter {
+			s.closeConn(conn)
+		}
+		s.CGIServed++
+		next()
+	})
+}
+
+func (s *Server) handleStatic(conn *kernel.Conn, req *Request, next func()) {
+	costs := s.k.Costs()
+	finish := func() {
+		conn.Send(s.thread, req.Size, conn.Container(), func() {
+			if req.OnResponse != nil {
+				req.OnResponse(s.k.Now())
+			}
+		})
+		if req.CloseAfter {
+			s.closeConn(conn)
+		}
+		s.StaticServed++
+	}
+	s.thread.PostFunc("static", costs.UserStatic, rc.UserCPU, conn.Container(), func() {
+		if req.Path != "" {
+			// Named document: consult the filesystem cache. Cache memory
+			// is charged to the guest (or server) container; the disk
+			// time of a miss to the connection's activity (§4.4).
+			memC := s.cfg.CacheContainer
+			if memC == nil {
+				memC = s.cfg.Parent
+			}
+			if memC == nil {
+				memC = s.defaultContainer()
+			}
+			s.k.FileCache().Read(req.Path, req.Size, conn.Container(), memC, func() {
+				if !conn.Closed() {
+					finish()
+				}
+			})
+			next()
+			return
+		}
+		if !req.Uncached {
+			finish()
+			next()
+			return
+		}
+		// A cache miss: the document comes off the disk, DMA overlapping
+		// with other CPU work; the disk time is charged to the
+		// connection's container (§4.4). The event loop moves on and the
+		// response is sent when the read completes.
+		ok := s.k.Disk().Read(conn.Container(), req.Size, func() {
+			if !conn.Closed() {
+				finish()
+			}
+		})
+		if !ok {
+			// Disk queue overflow: the request is dropped (the client
+			// will time out), as an overloaded server would shed it.
+			s.closeConn(conn)
+		}
+		next()
+	})
+}
+
+// closeConn tears down the connection and releases any per-connection
+// container (the teardown CPU cost is part of ConnSetup).
+func (s *Server) closeConn(conn *kernel.Conn) {
+	if conn.Closed() {
+		return
+	}
+	cc := conn.Container()
+	conn.Close()
+	s.openConns--
+	if s.rcMode() && s.cfg.PerConnContainers && cc != nil && cc != s.defaultContainer() {
+		_ = cc.Release()
+	}
+}
+
+func (s *Server) handleCGI(conn *kernel.Conn, req *Request, next func()) {
+	if s.fcgi != nil {
+		// Persistent CGI servers: a cheap IPC dispatch instead of a fork.
+		s.thread.PostFunc("fcgi-dispatch", DispatchCost, rc.UserCPU, conn.Container(), func() {
+			s.fcgi.dispatch(conn, req)
+			next()
+		})
+		return
+	}
+	costs := s.k.Costs()
+	s.thread.PostFunc("cgi-dispatch", costs.UserCGIDispatch, rc.UserCPU, conn.Container(), func() {
+		s.spawnCGI(conn, req)
+		next()
+	})
+}
+
+// spawnCGI runs the dynamic request in an auxiliary process, with its
+// container parented under CGIParent when sandboxing is configured
+// (§4.8: "pass the connection's container to the CGI process").
+func (s *Server) spawnCGI(conn *kernel.Conn, req *Request) {
+	proc, err := s.proc.Fork(s.cfg.Name + "-cgi")
+	if err != nil {
+		return
+	}
+	if s.cgiLive == nil {
+		s.cgiLive = make(map[*kernel.Process]bool)
+	}
+	s.cgiLive[proc] = true
+	var cont *rc.Container
+	if s.rcMode() {
+		cont, err = rc.New(s.cfg.CGIParent, rc.TimeShare, "cgi-req",
+			rc.Attributes{Priority: kernel.DefaultPriority})
+		if err != nil {
+			cont = conn.Container()
+		}
+	}
+	s.CGIActive++
+	th := proc.NewThread("cgi")
+	th.PostFunc("cgi-compute", req.CGICPU, rc.UserCPU, cont, func() {
+		conn.Send(th, req.Size, cont, func() {
+			if req.OnResponse != nil {
+				req.OnResponse(s.k.Now())
+			}
+		})
+		// Allow the send work to complete before the process exits.
+		th.PostFunc("cgi-exit", 1, rc.KernelCPU, cont, func() {
+			s.closeConn(conn)
+			s.CGIServed++
+			s.CGIActive--
+			if cont != nil && cont != conn.Container() {
+				_ = cont.Release()
+			}
+			s.cgiCPUDone += proc.CPUTime()
+			delete(s.cgiLive, proc)
+			proc.Exit()
+		})
+	})
+}

@@ -1,0 +1,263 @@
+package kernel
+
+import (
+	"rescon/internal/netsim"
+	"rescon/internal/rc"
+	"rescon/internal/sched"
+	"rescon/internal/sim"
+	"rescon/internal/trace"
+)
+
+// intrWork is one unit of interrupt-level processing. Interrupts have
+// strictly higher priority than any thread (§3.2): they preempt the
+// running slice and run FIFO to completion.
+type intrWork struct {
+	label string
+	cost  sim.Duration
+	// container, when non-nil, receives the rc accounting for the work
+	// (RC-mode demultiplexing charges the destination container).
+	container *rc.Container
+	// chargePreempted charges the work to whatever principal was running
+	// when the interrupt fired — the unmodified kernel's misaccounting.
+	chargePreempted bool
+	onDone          func()
+}
+
+// running describes the thread slice currently on the CPU.
+type running struct {
+	th      *Thread
+	item    *WorkItem
+	started sim.Time
+	ev      *sim.Event
+}
+
+// CPU models one processor: one thread slice at a time, preempted (on
+// the primary processor) by FIFO interrupt work.
+type CPU struct {
+	k     *Kernel
+	id    int
+	intrQ *netsim.Queue[*intrWork]
+	// inIntr is true while interrupt work occupies the CPU.
+	inIntr bool
+	// preempted is the entity that was running when interrupt level was
+	// entered; baseline interrupt work is (mis)charged to it.
+	preempted *sched.Entity
+	cur       *running
+	retryEv   *sim.Event
+	busy      sim.Duration
+}
+
+func newCPU(k *Kernel, id int) *CPU {
+	return &CPU{k: k, id: id, intrQ: netsim.NewQueue[*intrWork](0)}
+}
+
+// BusyTime returns thread-level CPU time consumed (interrupt time is
+// accounted separately on the kernel).
+func (c *CPU) BusyTime() sim.Duration { return c.busy }
+
+// RaiseInterrupt queues interrupt-level work and preempts any running
+// thread slice.
+func (c *CPU) RaiseInterrupt(w *intrWork) {
+	c.k.Tracer.Emit(c.k.Now(), trace.KindInterrupt, "%s (%v)", w.label, w.cost)
+	c.intrQ.Push(w)
+	if c.inIntr {
+		return // will be drained by the active interrupt loop
+	}
+	if c.cur != nil {
+		th := c.cur.th
+		c.preemptCurrent()
+		c.preempted = th.ent
+	} else {
+		c.preempted = nil
+	}
+	c.inIntr = true
+	c.runNextIntr()
+}
+
+// PreemptIfIdleClass stops a running idle-class slice (a priority-0
+// time-share container, §5.7) so that newly runnable normal-priority work
+// takes the CPU immediately: background work runs strictly when the CPU
+// would otherwise be idle.
+func (c *CPU) PreemptIfIdleClass() {
+	if c.inIntr || c.cur == nil {
+		return
+	}
+	cont := c.cur.item.Container
+	if cont == nil || cont.Class() != rc.TimeShare || cont.EffectivePriority() > 0 {
+		return
+	}
+	c.preemptCurrent()
+	c.dispatch()
+}
+
+// preemptCurrent stops the running slice, charging the partial progress.
+func (c *CPU) preemptCurrent() {
+	r := c.cur
+	c.cur = nil
+	r.th.ent.SetOnCPU(false)
+	now := c.k.Now()
+	elapsed := now.Sub(r.started)
+	r.ev.Cancel()
+	if elapsed > 0 {
+		c.chargeSlice(r.th, r.item, elapsed, now)
+		r.item.Cost -= elapsed
+	}
+	// The item stays as the thread's current work and resumes later.
+}
+
+func (c *CPU) runNextIntr() {
+	w, ok := c.intrQ.Pop()
+	if !ok {
+		c.inIntr = false
+		c.preempted = nil
+		c.dispatch()
+		return
+	}
+	c.k.eng.After(w.cost, func() {
+		now := c.k.Now()
+		c.k.interruptTime += w.cost
+		if w.container != nil {
+			w.container.ChargeCPU(rc.KernelCPU, w.cost)
+		}
+		if w.chargePreempted && c.preempted != nil {
+			// The classic misaccounting: interrupt time lands on the
+			// scheduler state of the unlucky preempted principal.
+			c.k.sch.Charge(c.preempted, nil, w.cost, now)
+		}
+		if w.onDone != nil {
+			w.onDone()
+		}
+		c.runNextIntr()
+	})
+}
+
+// chargeSlice performs all accounting for d of CPU consumed by th running
+// item.
+func (c *CPU) chargeSlice(th *Thread, item *WorkItem, d sim.Duration, now sim.Time) {
+	if item.Container != nil {
+		item.Container.ChargeCPU(item.Kind, d)
+	}
+	c.k.sch.Charge(th.ent, item.Container, d, now)
+	th.cpuTime += d
+	th.proc.cpuTime += d
+	c.busy += d
+}
+
+// dispatch puts the next thread slice on the CPU if it is free.
+func (c *CPU) dispatch() {
+	if c.inIntr || c.cur != nil {
+		return
+	}
+	now := c.k.Now()
+	// Entities put aside because their pending work's container is out
+	// of cap budget; restored after the scheduling decision, with a
+	// retry armed for the next window.
+	var overBudget []*sched.Entity
+	defer func() {
+		if len(overBudget) == 0 {
+			return
+		}
+		for _, e := range overBudget {
+			c.k.sch.SetRunnable(e, true)
+		}
+		if b, ok := c.k.sch.(sched.SliceBudgeter); ok {
+			c.scheduleRetry(b.NextWindow(now))
+		}
+	}()
+	for {
+		e := c.k.sch.Pick(now)
+		if e == nil {
+			if next, ok := c.k.sch.NextRelease(now); ok {
+				c.scheduleRetry(next)
+			}
+			return
+		}
+		th := e.Owner.(*Thread)
+		th.yieldIdleWork()
+		if th.current == nil {
+			th.current = th.next()
+		}
+		if th.current == nil {
+			// The entity looked runnable but has no work (stale state);
+			// fix it up and pick again.
+			th.updateRunnable()
+			continue
+		}
+		if item := th.current; item.Container != nil && !item.Container.Destroyed() {
+			if b, ok := c.k.sch.(sched.SliceBudgeter); ok && b.SliceBudget(item.Container, now) <= 0 {
+				// The work's own container is out of budget this window:
+				// the thread may have standing via other bindings, but
+				// this work must not run (§5.6 exact cap enforcement).
+				c.k.sch.SetRunnable(e, false)
+				overBudget = append(overBudget, e)
+				continue
+			}
+		}
+		c.start(th, now)
+		return
+	}
+}
+
+// start begins a slice of the thread's current item.
+func (c *CPU) start(th *Thread, now sim.Time) {
+	item := th.current
+	if item.Container != nil && item.Container.Destroyed() {
+		// The activity was torn down while this work sat queued (e.g. a
+		// response send racing a connection close). Charge the process
+		// default container instead of a dead principal.
+		item.Container = th.proc.DefaultContainer
+	}
+	if item.Container != nil {
+		// Assuming the item's resource binding (§4.2); this also folds
+		// the container into the thread's scheduler binding (§4.3).
+		if th.ent.Resource != item.Container {
+			c.k.sch.Bind(th.ent, item.Container, now)
+		}
+	}
+	slice := c.k.sch.Quantum()
+	if item.Cost < slice {
+		slice = item.Cost
+	}
+	if b, ok := c.k.sch.(sched.SliceBudgeter); ok && item.Container != nil {
+		if sb := b.SliceBudget(item.Container, now); sb < slice {
+			slice = sb
+		}
+	}
+	c.k.Tracer.Emit(now, trace.KindDispatch, "cpu%d: %s runs %q (%v left)", c.id, th.ent, item.Label, item.Cost)
+	th.ent.SetOnCPU(true)
+	r := &running{th: th, item: item, started: now}
+	c.cur = r
+	r.ev = c.k.eng.After(slice, func() { c.completeSlice(r, slice) })
+}
+
+// completeSlice finishes a slice: accounting, completion callback, next
+// dispatch.
+func (c *CPU) completeSlice(r *running, slice sim.Duration) {
+	now := c.k.Now()
+	c.cur = nil
+	r.th.ent.SetOnCPU(false)
+	c.chargeSlice(r.th, r.item, slice, now)
+	r.item.Cost -= slice
+	var done func()
+	if r.item.Cost <= 0 {
+		r.th.current = nil
+		done = r.item.OnDone
+	}
+	r.th.updateRunnable()
+	if done != nil {
+		done()
+	}
+	c.dispatch()
+}
+
+// scheduleRetry arms a dispatch retry at t (for throttled threads whose
+// cap budget replenishes at the next window).
+func (c *CPU) scheduleRetry(t sim.Time) {
+	if c.retryEv != nil && c.retryEv.Pending() && c.retryEv.At() <= t {
+		return
+	}
+	if c.retryEv != nil {
+		c.retryEv.Cancel()
+	}
+	c.retryEv = c.k.eng.At(t, func() { c.k.dispatchAll() })
+}

@@ -1,0 +1,150 @@
+package kernel
+
+import (
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+	"rescon/internal/trace"
+)
+
+// Disk cost model defaults: a late-1990s SCSI disk — ~8 ms average
+// positioning, ~25 MB/s media rate (≈40 µs per KB).
+const (
+	DefaultDiskSeek       = 8 * sim.Millisecond
+	DefaultDiskPerKB      = 40 * sim.Microsecond
+	DefaultDiskQueueLimit = 256
+)
+
+// Disk models the machine's disk: one head, requests served one at a
+// time via DMA (no CPU cost), with the pending queue ordered by the
+// requesting container's priority and, within a priority, by QoS-weighted
+// fair service — the §4.4 claim that disk bandwidth is "conveniently
+// controlled by resource containers". Without containers the queue is
+// FIFO, as in the unmodified kernel.
+type Disk struct {
+	k *Kernel
+	// SeekTime and PerKB override the default cost model.
+	SeekTime sim.Duration
+	PerKB    sim.Duration
+
+	queue    []*diskReq
+	nextSeq  uint64
+	busy     bool
+	busyTime sim.Duration
+	served   uint64
+	// per-container weighted service for fair ordering (mirrors the
+	// network pktQueue discipline).
+	serviceTab map[*rc.Container]float64
+}
+
+type diskReq struct {
+	container *rc.Container
+	bytes     int
+	onDone    func()
+	seq       uint64
+}
+
+// Disk returns the kernel's disk, creating it on first use.
+func (k *Kernel) Disk() *Disk {
+	if k.disk == nil {
+		k.disk = &Disk{
+			k:          k,
+			SeekTime:   DefaultDiskSeek,
+			PerKB:      DefaultDiskPerKB,
+			serviceTab: make(map[*rc.Container]float64),
+		}
+	}
+	return k.disk
+}
+
+// BusyTime returns total time the disk spent servicing requests.
+func (d *Disk) BusyTime() sim.Duration { return d.busyTime }
+
+// Served returns the number of completed requests.
+func (d *Disk) Served() uint64 { return d.served }
+
+// QueueLen returns the number of pending requests.
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// Read schedules a disk read of the given size on behalf of c (nil
+// outside ModeRC); onDone fires when the data is in memory. Reads beyond
+// the queue limit are rejected (onDone never fires) and reported false.
+func (d *Disk) Read(c *rc.Container, bytes int, onDone func()) bool {
+	if len(d.queue) >= DefaultDiskQueueLimit {
+		if c != nil {
+			c.ChargeDrop()
+		}
+		return false
+	}
+	d.nextSeq++
+	d.queue = append(d.queue, &diskReq{container: c, bytes: bytes, onDone: onDone, seq: d.nextSeq})
+	d.start()
+	return true
+}
+
+// start begins servicing if the head is free.
+func (d *Disk) start() {
+	if d.busy || len(d.queue) == 0 {
+		return
+	}
+	req := d.pick()
+	d.busy = true
+	cost := d.SeekTime + sim.Duration(req.bytes)*d.PerKB/1024
+	d.k.Tracer.Emit(d.k.Now(), trace.KindDispatch, "disk read %dB for %v (%v)", req.bytes, req.container, cost)
+	d.k.eng.After(cost, func() {
+		d.busy = false
+		d.busyTime += cost
+		d.served++
+		if req.container != nil {
+			req.container.ChargeDiskRead(req.bytes, cost)
+			w := req.container.QoSWeight()
+			d.serviceTab[req.container] += float64(cost) / w
+		}
+		if req.onDone != nil {
+			req.onDone()
+		}
+		d.start()
+	})
+}
+
+// pick removes and returns the next request: highest container priority
+// first, then least QoS-weighted service, then arrival order. Without
+// containers (nil), requests are FIFO at priority 0.
+func (d *Disk) pick() *diskReq {
+	best := 0
+	if d.k.mode == ModeRC {
+		for i := 1; i < len(d.queue); i++ {
+			if d.diskLess(d.queue[i], d.queue[best]) {
+				best = i
+			}
+		}
+	}
+	req := d.queue[best]
+	d.queue = append(d.queue[:best], d.queue[best+1:]...)
+	// Garbage-collect service entries for destroyed containers.
+	for c := range d.serviceTab {
+		if c.Destroyed() {
+			delete(d.serviceTab, c)
+		}
+	}
+	return req
+}
+
+func (d *Disk) diskLess(a, b *diskReq) bool {
+	pa, pb := 0, 0
+	var sa, sb float64
+	if a.container != nil {
+		pa = a.container.EffectivePriority()
+		sa = d.serviceTab[a.container]
+	}
+	if b.container != nil {
+		pb = b.container.EffectivePriority()
+		sb = d.serviceTab[b.container]
+	}
+	if pa != pb {
+		return pa > pb
+	}
+	if sa != sb {
+		return sa < sb
+	}
+	return a.seq < b.seq
+}

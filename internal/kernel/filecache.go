@@ -1,0 +1,180 @@
+package kernel
+
+import (
+	"container/list"
+	"errors"
+
+	"rescon/internal/rc"
+	"rescon/internal/trace"
+)
+
+// DefaultCacheCapacity is the filesystem cache size (bytes).
+const DefaultCacheCapacity = 8 << 20 // 8 MB, a 1999-era buffer cache
+
+// FileCache models the filesystem buffer cache with resource-container
+// accounting (§4.4: "physical memory ... can be conveniently controlled
+// by resource containers"): every cached page is charged, as memory, to
+// the container that faulted it in, so a MemLimit on a subtree acts as a
+// cache quota. When a subtree reaches its quota it evicts *its own*
+// least-recently-used documents rather than another activity's — the
+// isolation property the application-controlled caching literature [9]
+// argues for, here enforced by the container hierarchy.
+type FileCache struct {
+	k        *Kernel
+	capacity int64
+	used     int64
+	entries  map[string]*cacheEntry
+	lru      *list.List // front = most recent
+
+	// Stats
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	path string
+	size int64
+	cont *rc.Container
+	elem *list.Element
+}
+
+// FileCache returns the kernel's filesystem cache, creating it on first
+// use.
+func (k *Kernel) FileCache() *FileCache {
+	if k.fcache == nil {
+		k.fcache = &FileCache{
+			k:        k,
+			capacity: DefaultCacheCapacity,
+			entries:  make(map[string]*cacheEntry),
+			lru:      list.New(),
+		}
+	}
+	return k.fcache
+}
+
+// SetCapacity resizes the cache (evicting as needed).
+func (fc *FileCache) SetCapacity(bytes int64) {
+	fc.capacity = bytes
+	for fc.used > fc.capacity {
+		if !fc.evictGlobalLRU() {
+			break
+		}
+	}
+}
+
+// Stats returns (hits, misses, evictions).
+func (fc *FileCache) Stats() (hits, misses, evictions uint64) {
+	return fc.hits, fc.misses, fc.evictions
+}
+
+// Used returns the bytes currently cached.
+func (fc *FileCache) Used() int64 { return fc.used }
+
+// Contains reports whether the document is cached, without touching LRU
+// state.
+func (fc *FileCache) Contains(path string) bool {
+	_, ok := fc.entries[path]
+	return ok
+}
+
+// Read serves a document: a hit calls onReady immediately (the page is in
+// memory); a miss reads the document from disk and inserts it. The disk
+// time is charged to diskC (the faulting activity); the cached memory is
+// charged to memC — typically a long-lived guest or server container, so
+// MemLimit there bounds the guest's cache footprint even though its
+// per-connection activity containers come and go. Read reports whether
+// the access was a hit. If the disk queue is full the read is dropped and
+// onReady never fires (the server sheds the request).
+func (fc *FileCache) Read(path string, size int, diskC, memC *rc.Container, onReady func()) (hit bool) {
+	if e, ok := fc.entries[path]; ok {
+		fc.hits++
+		fc.lru.MoveToFront(e.elem)
+		if onReady != nil {
+			onReady()
+		}
+		return true
+	}
+	fc.misses++
+	fc.k.Disk().Read(diskC, size, func() {
+		fc.insert(path, int64(size), memC)
+		if onReady != nil {
+			onReady()
+		}
+	})
+	return false
+}
+
+// insert adds a faulted-in document, evicting to make room: first within
+// the faulting subtree if its memory quota is exhausted, then globally.
+func (fc *FileCache) insert(path string, size int64, c *rc.Container) {
+	if size > fc.capacity {
+		return // uncacheable
+	}
+	if _, ok := fc.entries[path]; ok {
+		return // raced in by a concurrent fault
+	}
+	// Global capacity.
+	for fc.used+size > fc.capacity {
+		if !fc.evictGlobalLRU() {
+			return
+		}
+	}
+	// Subtree quota: charge the memory; on limit, evict this activity's
+	// own root-subtree entries and retry.
+	if c != nil && !c.Destroyed() {
+		for {
+			err := c.ChargeMemory(size)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, rc.ErrMemLimit) {
+				return
+			}
+			if !fc.evictSubtreeLRU(c.Root()) {
+				// The subtree's quota cannot fit this document at all:
+				// serve it uncached (the activity thrashes only itself).
+				fc.k.Tracer.Emit(fc.k.Now(), trace.KindDrop,
+					"cache quota: %q not cached for %v", path, c)
+				return
+			}
+		}
+	}
+	e := &cacheEntry{path: path, size: size, cont: c}
+	e.elem = fc.lru.PushFront(e)
+	fc.entries[path] = e
+	fc.used += size
+}
+
+// evictGlobalLRU removes the least-recently-used entry.
+func (fc *FileCache) evictGlobalLRU() bool {
+	back := fc.lru.Back()
+	if back == nil {
+		return false
+	}
+	fc.remove(back.Value.(*cacheEntry))
+	return true
+}
+
+// evictSubtreeLRU removes the least-recently-used entry charged within
+// the given root's subtree.
+func (fc *FileCache) evictSubtreeLRU(root *rc.Container) bool {
+	for el := fc.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		if e.cont != nil && !e.cont.Destroyed() && e.cont.Root() == root {
+			fc.remove(e)
+			return true
+		}
+	}
+	return false
+}
+
+func (fc *FileCache) remove(e *cacheEntry) {
+	fc.lru.Remove(e.elem)
+	delete(fc.entries, e.path)
+	fc.used -= e.size
+	fc.evictions++
+	if e.cont != nil && !e.cont.Destroyed() {
+		_ = e.cont.ChargeMemory(-e.size)
+	}
+}

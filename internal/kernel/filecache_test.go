@@ -1,0 +1,182 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+)
+
+func TestFileCacheHitAndMiss(t *testing.T) {
+	eng, k := newKernel(ModeRC)
+	fc := k.FileCache()
+	c := rc.MustNew(nil, rc.TimeShare, "c", rc.Attributes{Priority: 1})
+	var firstAt, secondAt sim.Time
+	if hit := fc.Read("/a", 4096, c, c, func() { firstAt = eng.Now() }); hit {
+		t.Fatal("cold cache reported a hit")
+	}
+	eng.Run()
+	if firstAt == 0 {
+		t.Fatal("miss never completed")
+	}
+	if !fc.Contains("/a") {
+		t.Fatal("document not inserted after miss")
+	}
+	if hit := fc.Read("/a", 4096, c, c, func() { secondAt = eng.Now() }); !hit {
+		t.Fatal("warm cache reported a miss")
+	}
+	if secondAt != eng.Now() {
+		t.Fatal("hit should complete immediately")
+	}
+	h, m, _ := fc.Stats()
+	if h != 1 || m != 1 {
+		t.Fatalf("stats hits=%d misses=%d", h, m)
+	}
+	if c.Usage().Memory != 4096 {
+		t.Fatalf("cache memory charge %d", c.Usage().Memory)
+	}
+}
+
+func TestFileCacheGlobalLRUEviction(t *testing.T) {
+	eng, k := newKernel(ModeRC)
+	fc := k.FileCache()
+	fc.SetCapacity(3 * 1024)
+	c := rc.MustNew(nil, rc.TimeShare, "c", rc.Attributes{Priority: 1})
+	for i := 0; i < 3; i++ {
+		fc.Read(fmt.Sprintf("/doc%d", i), 1024, c, c, nil)
+		eng.Run()
+	}
+	// Touch /doc0 so /doc1 is the LRU victim.
+	fc.Read("/doc0", 1024, c, c, nil)
+	fc.Read("/doc3", 1024, c, c, nil)
+	eng.Run()
+	if fc.Contains("/doc1") {
+		t.Fatal("LRU victim not evicted")
+	}
+	if !fc.Contains("/doc0") || !fc.Contains("/doc3") {
+		t.Fatal("wrong eviction victim")
+	}
+	if fc.Used() != 3*1024 {
+		t.Fatalf("used %d", fc.Used())
+	}
+	_, _, ev := fc.Stats()
+	if ev != 1 {
+		t.Fatalf("evictions %d", ev)
+	}
+	if c.Usage().Memory != 3*1024 {
+		t.Fatalf("memory charge %d after eviction", c.Usage().Memory)
+	}
+}
+
+func TestFileCacheQuotaSelfEviction(t *testing.T) {
+	// Guest A has a 2 KB cache quota; its scan evicts its own documents
+	// and never touches guest B's.
+	eng, k := newKernel(ModeRC)
+	fc := k.FileCache()
+	guestA := rc.MustNew(nil, rc.FixedShare, "A", rc.Attributes{MemLimit: 2 * 1024})
+	aLeaf := rc.MustNew(guestA, rc.TimeShare, "a", rc.Attributes{Priority: 1})
+	guestB := rc.MustNew(nil, rc.FixedShare, "B", rc.Attributes{})
+	bLeaf := rc.MustNew(guestB, rc.TimeShare, "b", rc.Attributes{Priority: 1})
+
+	fc.Read("/b/hot", 1024, bLeaf, bLeaf, nil)
+	eng.Run()
+	for i := 0; i < 5; i++ {
+		fc.Read(fmt.Sprintf("/a/doc%d", i), 1024, aLeaf, aLeaf, nil)
+		eng.Run()
+	}
+	if !fc.Contains("/b/hot") {
+		t.Fatal("guest A's scan evicted guest B's document")
+	}
+	if guestA.Usage().Memory > 2*1024 {
+		t.Fatalf("guest A over quota: %d", guestA.Usage().Memory)
+	}
+	// A's most recent two documents fit its quota.
+	if !fc.Contains("/a/doc4") || !fc.Contains("/a/doc3") {
+		t.Fatal("guest A should keep its most recent documents")
+	}
+	if fc.Contains("/a/doc0") {
+		t.Fatal("guest A's oldest document should be gone")
+	}
+}
+
+func TestFileCacheQuotaTooSmallServesUncached(t *testing.T) {
+	eng, k := newKernel(ModeRC)
+	fc := k.FileCache()
+	tiny := rc.MustNew(nil, rc.FixedShare, "tiny", rc.Attributes{MemLimit: 512})
+	leaf := rc.MustNew(tiny, rc.TimeShare, "l", rc.Attributes{Priority: 1})
+	done := false
+	fc.Read("/big", 4096, leaf, leaf, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("read never completed")
+	}
+	if fc.Contains("/big") {
+		t.Fatal("document cached beyond its subtree quota")
+	}
+	if tiny.Usage().Memory != 0 {
+		t.Fatalf("quota charge leaked: %d", tiny.Usage().Memory)
+	}
+}
+
+func TestFileCacheUncacheableDocument(t *testing.T) {
+	eng, k := newKernel(ModeRC)
+	fc := k.FileCache()
+	fc.SetCapacity(1024)
+	c := rc.MustNew(nil, rc.TimeShare, "c", rc.Attributes{Priority: 1})
+	done := false
+	fc.Read("/huge", 4096, c, c, func() { done = true })
+	eng.Run()
+	if !done || fc.Contains("/huge") {
+		t.Fatalf("huge document handling: done=%v cached=%v", done, fc.Contains("/huge"))
+	}
+}
+
+func TestFileCacheSetCapacityShrink(t *testing.T) {
+	eng, k := newKernel(ModeRC)
+	fc := k.FileCache()
+	c := rc.MustNew(nil, rc.TimeShare, "c", rc.Attributes{Priority: 1})
+	for i := 0; i < 4; i++ {
+		fc.Read(fmt.Sprintf("/d%d", i), 1024, c, c, nil)
+		eng.Run()
+	}
+	fc.SetCapacity(2 * 1024)
+	if fc.Used() > 2*1024 {
+		t.Fatalf("used %d after shrink", fc.Used())
+	}
+	if c.Usage().Memory != fc.Used() {
+		t.Fatalf("charge %d != used %d", c.Usage().Memory, fc.Used())
+	}
+}
+
+func TestFileCacheServerIntegration(t *testing.T) {
+	// End-to-end: repeated requests for the same document hit the cache
+	// (fast), a scan of distinct documents misses (slow).
+	eng, k := newKernel(ModeRC)
+	p := k.NewProcess("httpd")
+	th := p.NewThread("t")
+	var conn *Conn
+	_, _ = k.Listen(p, ListenConfig{
+		Local:        srvAddr,
+		OnAcceptable: func(l *ListenSocket) { conn, _ = l.Accept() },
+	})
+	k.ClientSend(SYNPacket(client(1), srvAddr, false))
+	eng.RunUntil(sim.Time(sim.Millisecond))
+	if conn == nil {
+		t.Fatal("no conn")
+	}
+	served := 0
+	for i := 0; i < 3; i++ {
+		k.FileCache().Read("/hot", 1024, conn.Container(), p.DefaultContainer, func() {
+			th.PostFunc("serve", 10*sim.Microsecond, rc.UserCPU, conn.Container(), func() { served++ })
+		})
+		eng.Run()
+	}
+	if served != 3 {
+		t.Fatalf("served %d", served)
+	}
+	h, m, _ := k.FileCache().Stats()
+	if m != 1 || h != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", h, m)
+	}
+}

@@ -1,0 +1,47 @@
+package kernel
+
+import "rescon/internal/netsim"
+
+// Address is a convenience alias so that workloads and examples need not
+// import netsim for the common case.
+type Address = netsim.Addr
+
+// Addr builds an endpoint from a dotted-quad IP string and a port.
+// It panics on malformed input; use netsim.ParseIP for untrusted strings.
+func Addr(ip string, port uint16) netsim.Addr {
+	return netsim.Addr{IP: netsim.MustParseIP(ip), Port: port}
+}
+
+// FilterCIDR builds a CIDR filter from a dotted-quad prefix and a mask
+// length.
+func FilterCIDR(ip string, bits int) netsim.Filter {
+	return netsim.Filter{Template: netsim.MustParseIP(ip), MaskBits: bits}
+}
+
+// FilterCIDRComplement builds a complement filter: matches clients NOT in
+// the prefix.
+func FilterCIDRComplement(ip string, bits int) netsim.Filter {
+	return netsim.Filter{Template: netsim.MustParseIP(ip), MaskBits: bits, Complement: true}
+}
+
+// SYNPacket builds a connection-request packet (40-byte TCP SYN).
+func SYNPacket(src, dst netsim.Addr, bogus bool) *netsim.Packet {
+	return &netsim.Packet{Kind: netsim.SYN, Src: src, Dst: dst, Size: 40, Bogus: bogus}
+}
+
+// ConnectPacket builds a SYN whose payload is a client callback invoked
+// (one wire delay after establishment) with the new connection — the
+// client side of the handshake.
+func ConnectPacket(src, dst netsim.Addr, onEstablished func(*Conn)) *netsim.Packet {
+	return &netsim.Packet{Kind: netsim.SYN, Src: src, Dst: dst, Size: 40, Payload: onEstablished}
+}
+
+// DataPacket builds a request packet on an established connection.
+func DataPacket(src, dst netsim.Addr, connID uint64, size int, payload any) *netsim.Packet {
+	return &netsim.Packet{Kind: netsim.Data, Src: src, Dst: dst, ConnID: connID, Size: size, Payload: payload}
+}
+
+// FINPacket builds a teardown packet for an established connection.
+func FINPacket(src, dst netsim.Addr, connID uint64) *netsim.Packet {
+	return &netsim.Packet{Kind: netsim.FIN, Src: src, Dst: dst, ConnID: connID, Size: 40}
+}

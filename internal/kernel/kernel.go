@@ -1,0 +1,479 @@
+// Package kernel simulates the monolithic UNIX-like kernel the paper
+// modifies: processes, kernel threads, a single CPU with interrupt-level
+// preemption, and a TCP/IP network subsystem with three execution models:
+//
+//   - ModeUnmodified: protocol processing at interrupt level, FIFO across
+//     connections, charged to whatever principal happens to run (§3.2).
+//   - ModeLRP: lazy receiver processing — early demultiplexing at
+//     interrupt level, protocol processing by a per-process kernel thread
+//     scheduled at (and charged to) the receiving process (§3.2, [15]).
+//   - ModeRC: the paper's system — early demultiplexing to the resource
+//     container bound to the receiving socket or connection; protocol
+//     processing by a per-process kernel thread in container-priority
+//     order, with its resource binding set per packet (§4.7).
+//
+// Everything runs in virtual time on internal/sim's event engine, with
+// CPU costs from CostModel, so experiment results are deterministic.
+package kernel
+
+import (
+	"fmt"
+
+	"rescon/internal/rc"
+	"rescon/internal/sched"
+	"rescon/internal/sim"
+	"rescon/internal/trace"
+)
+
+// Mode selects the kernel's resource-management model.
+type Mode int
+
+const (
+	// ModeUnmodified is the stock kernel baseline.
+	ModeUnmodified Mode = iota
+	// ModeLRP is the lazy-receiver-processing comparison system.
+	ModeLRP
+	// ModeRC is the resource-container system.
+	ModeRC
+)
+
+// String names the mode as in the paper's figure legends.
+func (m Mode) String() string {
+	switch m {
+	case ModeUnmodified:
+		return "Unmodified"
+	case ModeLRP:
+		return "LRP"
+	case ModeRC:
+		return "RC"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Kernel is one simulated server machine (uniprocessor, as in §5.2).
+type Kernel struct {
+	eng    *sim.Engine
+	mode   Mode
+	costs  CostModel
+	sch    sched.Scheduler
+	cpu    *CPU // primary processor (receives interrupts)
+	cpus   []*CPU
+	net    *network
+	disk   *Disk
+	fcache *FileCache
+
+	procs  []*Process
+	nextID uint64
+
+	// Tracer, when attached, records kernel events (packet arrivals,
+	// drops, connection lifecycle, dispatches) in a bounded ring.
+	Tracer *trace.Tracer
+
+	// WireLossRate drops each client-injected packet with this
+	// probability (deterministically, from the engine's seeded stream) —
+	// failure injection for exercising client timeout/retry paths.
+	WireLossRate float64
+	lossRNG      *sim.RNG
+
+	// ImplicitNetBinding makes kernel network threads use the generic
+	// observed-bindings-with-pruning scheduler binding (§4.3) instead of
+	// the exact pending-packet set (§4.7). It exists as an ablation knob:
+	// set it before the first Listen call.
+	ImplicitNetBinding bool
+
+	// stats
+	interruptTime sim.Duration
+	startTime     sim.Time
+}
+
+// New returns a uniprocessor kernel (the paper's testbed, §5.2) in the
+// given mode with the given cost model.
+func New(eng *sim.Engine, mode Mode, costs CostModel) *Kernel {
+	return NewSMP(eng, mode, costs, 1)
+}
+
+// NewSMP returns a kernel with ncpus processors. Interrupts are handled
+// by CPU 0, as on the symmetric multiprocessors of the period; threads
+// migrate freely (no affinity).
+func NewSMP(eng *sim.Engine, mode Mode, costs CostModel, ncpus int) *Kernel {
+	if ncpus < 1 {
+		ncpus = 1
+	}
+	k := &Kernel{eng: eng, mode: mode, costs: costs}
+	switch mode {
+	case ModeRC:
+		cs := sched.NewContainerScheduler()
+		cs.Capacity = ncpus
+		k.sch = cs
+	default:
+		k.sch = sched.NewDecayScheduler()
+	}
+	for i := 0; i < ncpus; i++ {
+		k.cpus = append(k.cpus, newCPU(k, i))
+	}
+	k.cpu = k.cpus[0]
+	k.net = newNetwork(k)
+	return k
+}
+
+// NumCPUs returns the number of processors.
+func (k *Kernel) NumCPUs() int { return len(k.cpus) }
+
+// BusyTime sums thread-level CPU time consumed across all processors.
+func (k *Kernel) BusyTime() sim.Duration {
+	var total sim.Duration
+	for _, c := range k.cpus {
+		total += c.busy
+	}
+	return total
+}
+
+// kickAll reacts to newly runnable work across all processors: free CPUs
+// dispatch; if none is free, one idle-class slice is evicted.
+func (k *Kernel) kickAll() {
+	for _, c := range k.cpus {
+		if c.cur == nil && !c.inIntr {
+			c.dispatch()
+		}
+	}
+	// If work is still pending and some CPU runs idle-class background
+	// work, evict it (strict idle-class semantics).
+	for _, c := range k.cpus {
+		c.PreemptIfIdleClass()
+	}
+}
+
+// dispatchAll re-dispatches every free processor (cap-window retries).
+func (k *Kernel) dispatchAll() {
+	for _, c := range k.cpus {
+		c.dispatch()
+	}
+}
+
+// Engine returns the simulation engine the kernel runs on.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Mode returns the kernel's resource-management model.
+func (k *Kernel) Mode() Mode { return k.mode }
+
+// Costs returns the kernel's cost model.
+func (k *Kernel) Costs() CostModel { return k.costs }
+
+// Scheduler returns the active CPU scheduler.
+func (k *Kernel) Scheduler() sched.Scheduler { return k.sch }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.eng.Now() }
+
+// InterruptTime returns the total CPU time spent at interrupt level.
+func (k *Kernel) InterruptTime() sim.Duration { return k.interruptTime }
+
+// Utilization summarizes where machine time went so far.
+type Utilization struct {
+	// Busy, Interrupt and Idle are fractions of total machine capacity
+	// (ncpus × elapsed); they sum to 1.
+	Busy      float64
+	Interrupt float64
+	Idle      float64
+}
+
+// Utilization reports the CPU breakdown since the start of the
+// simulation.
+func (k *Kernel) Utilization() Utilization {
+	elapsed := sim.Duration(k.Now())
+	if elapsed <= 0 {
+		return Utilization{Idle: 1}
+	}
+	capacity := float64(elapsed) * float64(len(k.cpus))
+	u := Utilization{
+		Busy:      float64(k.BusyTime()) / capacity,
+		Interrupt: float64(k.interruptTime) / capacity,
+	}
+	u.Idle = 1 - u.Busy - u.Interrupt
+	return u
+}
+
+// Process is a protection domain: one or more threads, a container
+// descriptor table, and (in LRP/RC modes) a kernel network thread that
+// performs protocol processing for the process's sockets.
+type Process struct {
+	k    *Kernel
+	id   uint64
+	name string
+
+	// Principal is the classic scheduler's resource principal.
+	Principal *sched.ProcPrincipal
+	// DefaultContainer is the container created for the process at fork
+	// time (§4.6); nil outside ModeRC.
+	DefaultContainer *rc.Container
+	// Containers is the process's container descriptor table.
+	Containers *rc.Table
+
+	threads   []*Thread
+	netThread *Thread
+	netQ      *pktQueue
+	cpuTime   sim.Duration
+	exited    bool
+}
+
+// NewProcess creates a process. In ModeRC a default time-share container
+// with DefaultPriority is created for it, as fork() does in §4.6.
+func (k *Kernel) NewProcess(name string) *Process {
+	k.nextID++
+	p := &Process{
+		k:          k,
+		id:         k.nextID,
+		name:       name,
+		Principal:  sched.NewProcPrincipal(name),
+		Containers: rc.NewTable(),
+	}
+	if k.mode == ModeRC {
+		p.DefaultContainer = rc.MustNew(nil, rc.TimeShare, name+"-default",
+			rc.Attributes{Priority: DefaultPriority})
+	}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// DefaultPriority is the numeric priority given to containers that have
+// not been explicitly prioritized. It must be positive: priority 0 is the
+// idle class (§5.7).
+const DefaultPriority = 10
+
+// Fork creates a child process inheriting the parent's container
+// descriptor table (§4.6). The child gets its own principal; in ModeRC
+// its default container is the parent's default container (inherited
+// binding) unless the caller rebinds.
+func (p *Process) Fork(name string) (*Process, error) {
+	child := p.k.NewProcess(name)
+	if p.k.mode == ModeRC {
+		// NewProcess made a fresh default; a forked child instead
+		// inherits the parent's binding.
+		_ = child.DefaultContainer.Release()
+		child.DefaultContainer = p.DefaultContainer
+	}
+	tab, err := p.Containers.Fork()
+	if err != nil {
+		return nil, err
+	}
+	_ = child.Containers.CloseAll()
+	child.Containers = tab
+	return child, nil
+}
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// CPUTime returns the CPU actually consumed by the process's threads
+// (excluding interrupt-level work, which belongs to no process).
+func (p *Process) CPUTime() sim.Duration { return p.cpuTime }
+
+// Exit terminates the process: all threads are unregistered and the
+// container table is closed.
+func (p *Process) Exit() {
+	if p.exited {
+		return
+	}
+	p.exited = true
+	for _, t := range p.threads {
+		t.exit()
+	}
+	if p.netThread != nil {
+		p.netThread.exit()
+	}
+	_ = p.Containers.CloseAll()
+	for i, x := range p.k.procs {
+		if x == p {
+			p.k.procs = append(p.k.procs[:i], p.k.procs[i+1:]...)
+			break
+		}
+	}
+}
+
+// WorkItem is one segment of thread execution: a CPU cost, the mode it
+// runs in, the container it is charged to (nil outside ModeRC), and a
+// completion callback.
+type WorkItem struct {
+	// Label is diagnostic.
+	Label string
+	// Cost is the remaining CPU time the segment needs.
+	Cost sim.Duration
+	// Kind is user- or kernel-mode, for the container's usage split.
+	Kind rc.CPUKind
+	// Container is the resource binding the thread assumes while running
+	// this segment (§4.2). It must be non-nil in ModeRC.
+	Container *rc.Container
+	// OnDone runs when the segment's cost has been fully consumed.
+	OnDone func()
+}
+
+// WorkSource supplies work items on demand; the kernel network thread
+// uses one to pick the pending packet with the highest container
+// priority at dispatch time (§4.7).
+type WorkSource interface {
+	HasWork() bool
+	NextWork() *WorkItem
+}
+
+// Thread is one kernel-schedulable thread.
+type Thread struct {
+	proc    *Process
+	ent     *sched.Entity
+	name    string
+	fifo    []*WorkItem
+	current *WorkItem
+	source  WorkSource
+	cpuTime sim.Duration
+	exited  bool
+}
+
+// NewThread creates a thread in the process. In ModeRC it starts bound to
+// the process's default container (§4.2: a thread starts with a default
+// resource container binding inherited from its creator).
+func (p *Process) NewThread(name string) *Thread {
+	p.k.nextID++
+	t := &Thread{
+		proc: p,
+		name: name,
+		ent: &sched.Entity{
+			ID:   p.k.nextID,
+			Name: p.name + "/" + name,
+			Proc: p.Principal,
+		},
+	}
+	t.ent.Owner = t
+	p.k.sch.Register(t.ent)
+	if p.k.mode == ModeRC && p.DefaultContainer != nil {
+		t.ent.Fallback = p.DefaultContainer
+		p.k.sch.Bind(t.ent, p.DefaultContainer, p.k.Now())
+	}
+	p.threads = append(p.threads, t)
+	return t
+}
+
+// Process returns the owning process.
+func (t *Thread) Process() *Process { return t.proc }
+
+// Entity returns the thread's scheduler entity.
+func (t *Thread) Entity() *sched.Entity { return t.ent }
+
+// CPUTime returns the CPU consumed by the thread.
+func (t *Thread) CPUTime() sim.Duration { return t.cpuTime }
+
+// Post queues a work segment on the thread and wakes the CPU.
+func (t *Thread) Post(item *WorkItem) {
+	if t.exited {
+		return
+	}
+	if item.Cost <= 0 {
+		// Zero-cost work completes immediately at the next event; model
+		// it as the minimum schedulable quantum of 1 ns to keep the CPU
+		// loop uniform.
+		item.Cost = 1
+	}
+	t.proc.k.checkItem(item)
+	t.fifo = append(t.fifo, item)
+	t.updateRunnable()
+	t.proc.k.kickAll()
+}
+
+// PostFunc is a convenience wrapper building a WorkItem.
+func (t *Thread) PostFunc(label string, cost sim.Duration, kind rc.CPUKind, c *rc.Container, done func()) {
+	t.Post(&WorkItem{Label: label, Cost: cost, Kind: kind, Container: c, OnDone: done})
+}
+
+// SetSource installs a pull-based work source (kernel network thread).
+func (t *Thread) SetSource(s WorkSource) {
+	t.source = s
+	t.updateRunnable()
+}
+
+// Wake re-evaluates runnability after the thread's work source gained
+// work, and kicks the CPU.
+func (t *Thread) Wake() {
+	t.updateRunnable()
+	t.proc.k.kickAll()
+}
+
+func (t *Thread) hasWork() bool {
+	if t.current != nil || len(t.fifo) > 0 {
+		return true
+	}
+	return t.source != nil && t.source.HasWork()
+}
+
+func (t *Thread) updateRunnable() {
+	runnable := !t.exited && t.hasWork()
+	if runnable && t.proc.k.mode == ModeRC && !t.ent.HasLiveBinding() {
+		// Every container the thread recently served has been destroyed
+		// (e.g. its last connection closed). Fall back to the process
+		// default container so the pending work can be scheduled; the
+		// work item's own container takes over when the slice starts.
+		if d := t.proc.DefaultContainer; d != nil && !d.Destroyed() {
+			t.proc.k.sch.Bind(t.ent, d, t.proc.k.Now())
+		}
+	}
+	t.proc.k.sch.SetRunnable(t.ent, runnable)
+}
+
+// yieldIdleWork parks a partially processed idle-class work item back
+// into the thread's work source when normal-priority work is pending, so
+// the thread serves pending packets strictly in container-priority order
+// (§4.7). Without this, a half-processed priority-0 packet would block
+// the head of the kernel network thread.
+func (t *Thread) yieldIdleWork() {
+	if t.current == nil || t.source == nil {
+		return
+	}
+	c := t.current.Container
+	if c == nil || c.Class() != rc.TimeShare || c.EffectivePriority() > 0 {
+		return
+	}
+	pq, ok := t.source.(*pktQueue)
+	if !ok || pq.topPriority() <= 0 {
+		return
+	}
+	pq.requeueFront(t.current)
+	t.current = nil
+}
+
+// next pops the thread's next work item (FIFO first, then source).
+func (t *Thread) next() *WorkItem {
+	if len(t.fifo) > 0 {
+		item := t.fifo[0]
+		t.fifo[0] = nil
+		t.fifo = t.fifo[1:]
+		if len(t.fifo) == 0 {
+			t.fifo = nil
+		}
+		return item
+	}
+	if t.source != nil && t.source.HasWork() {
+		item := t.source.NextWork()
+		if item != nil {
+			t.proc.k.checkItem(item)
+		}
+		return item
+	}
+	return nil
+}
+
+func (t *Thread) exit() {
+	if t.exited {
+		return
+	}
+	t.exited = true
+	t.fifo = nil
+	t.current = nil
+	t.source = nil
+	t.proc.k.sch.Unregister(t.ent)
+}
+
+// checkItem enforces the ModeRC invariant that every work segment has a
+// container to charge.
+func (k *Kernel) checkItem(item *WorkItem) {
+	if k.mode == ModeRC && item.Container == nil {
+		panic(fmt.Sprintf("kernel: ModeRC work item %q without a container", item.Label))
+	}
+}

@@ -1,0 +1,720 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"rescon/internal/netsim"
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+	"rescon/internal/trace"
+)
+
+// DefaultSynBacklog is the listen-socket embryonic (SYN) queue length.
+const DefaultSynBacklog = 1024
+
+// DefaultAcceptBacklog is the listen-socket accept queue length.
+const DefaultAcceptBacklog = 128
+
+// DefaultNetBacklog bounds the per-container (RC) or per-process (LRP)
+// pending protocol queue; packets beyond it are dropped at demux time.
+const DefaultNetBacklog = 1024
+
+// BogusSynTimeout is how long a bogus embryonic connection occupies a
+// SYN-queue slot before the retransmit timer gives up on it.
+const BogusSynTimeout = 100 * sim.Millisecond
+
+// SocketBufferBytes is the kernel memory charged to a connection's
+// container for its socket buffers (§4.4: resources other than CPU —
+// here protocol buffer memory — are charged to the correct activity).
+// Connections whose container subtree is at its memory limit are
+// refused at SYN time.
+const SocketBufferBytes = 16 * 1024
+
+// ErrProcessExited is returned for operations on an exited process.
+var ErrProcessExited = errors.New("kernel: process has exited")
+
+// network is the kernel's TCP/IP subsystem state.
+type network struct {
+	k      *Kernel
+	demux  netsim.Demux
+	conns  map[uint64]*Conn
+	nextID uint64
+}
+
+func newNetwork(k *Kernel) *network {
+	return &network{k: k, conns: make(map[uint64]*Conn)}
+}
+
+// ListenConfig configures a listening socket.
+type ListenConfig struct {
+	Local  netsim.Addr
+	Filter netsim.Filter
+	// Container is the resource container bound to the socket (§4.6);
+	// connection-request processing for this socket is charged to it.
+	// Required in ModeRC, ignored otherwise.
+	Container *rc.Container
+	// SynBacklog and AcceptBacklog default to the kernel constants.
+	SynBacklog    int
+	AcceptBacklog int
+	// OnAcceptable fires when a new connection enters the accept queue.
+	OnAcceptable func(*ListenSocket)
+	// OnSynDrop fires when a SYN is dropped because of queue overflow —
+	// the kernel modification of §5.7 that lets the application detect a
+	// SYN flood and install a filter.
+	OnSynDrop func(src netsim.Addr)
+}
+
+// ListenSocket is a listening socket, possibly filtered (§4.8).
+type ListenSocket struct {
+	k       *Kernel
+	proc    *Process
+	cfg     ListenConfig
+	lis     *netsim.Listener
+	synQ    *netsim.Queue[sim.Time] // bogus embryonic slots (expiry times)
+	acceptQ *netsim.Queue[*Conn]
+	// container is the socket's resource binding.
+	container *rc.Container
+	synDrops  uint64
+	accepted  uint64
+	// pendingSYN counts legitimate connection requests admitted at demux
+	// but not yet through protocol processing; together with the accept
+	// queue it bounds the per-socket channel, so early drops happen
+	// before protocol effort is invested (LRP's bounded channels).
+	pendingSYN int
+	closed     bool
+}
+
+// Listen binds a listening socket for the process.
+func (k *Kernel) Listen(p *Process, cfg ListenConfig) (*ListenSocket, error) {
+	if p.exited {
+		return nil, ErrProcessExited
+	}
+	if cfg.SynBacklog <= 0 {
+		cfg.SynBacklog = DefaultSynBacklog
+	}
+	if cfg.AcceptBacklog <= 0 {
+		cfg.AcceptBacklog = DefaultAcceptBacklog
+	}
+	if k.mode == ModeRC && cfg.Container == nil {
+		cfg.Container = p.DefaultContainer
+	}
+	ls := &ListenSocket{
+		k:         k,
+		proc:      p,
+		cfg:       cfg,
+		synQ:      netsim.NewQueue[sim.Time](cfg.SynBacklog),
+		acceptQ:   netsim.NewQueue[*Conn](cfg.AcceptBacklog),
+		container: cfg.Container,
+	}
+	ls.lis = &netsim.Listener{Local: cfg.Local, Filter: cfg.Filter, Owner: ls}
+	if err := k.net.demux.Add(ls.lis); err != nil {
+		return nil, err
+	}
+	p.ensureNetThread()
+	return ls, nil
+}
+
+// ensureNetThread creates the per-process kernel network thread used by
+// the LRP and RC execution models (§4.7).
+func (p *Process) ensureNetThread() {
+	if p.k.mode == ModeUnmodified || p.netThread != nil {
+		return
+	}
+	p.netQ = newPktQueue(p.k)
+	p.netThread = p.NewThread("knet")
+	p.netThread.SetSource(p.netQ)
+	if !p.k.ImplicitNetBinding {
+		// The network thread's scheduling class tracks exactly the
+		// containers with pending protocol work (§4.7): pending traffic
+		// for only a priority-0 container leaves the thread in the idle
+		// class, with no staleness window.
+		p.netThread.ent.DynamicBinding = p.netQ.PendingContainers
+	}
+}
+
+// Container returns the socket's resource binding.
+func (ls *ListenSocket) Container() *rc.Container { return ls.container }
+
+// SetContainer rebinds the socket to a container (§4.6 "binding a socket
+// or file to a container").
+func (ls *ListenSocket) SetContainer(c *rc.Container) { ls.container = c }
+
+// SynDrops returns how many SYNs the socket has dropped.
+func (ls *ListenSocket) SynDrops() uint64 { return ls.synDrops }
+
+// expireSyns releases embryonic slots whose retransmit timer has expired.
+func (ls *ListenSocket) expireSyns(now sim.Time) {
+	for {
+		head, ok := ls.synQ.Peek()
+		if !ok || head.After(now) {
+			return
+		}
+		ls.synQ.Pop()
+	}
+}
+
+// EmbryonicCount returns the occupied SYN-queue slots (after expiry).
+func (ls *ListenSocket) EmbryonicCount() int {
+	ls.expireSyns(ls.k.Now())
+	return ls.synQ.Len()
+}
+
+// Accepted returns how many connections have been accepted.
+func (ls *ListenSocket) Accepted() uint64 { return ls.accepted }
+
+// Pending returns the number of connections waiting in the accept queue.
+func (ls *ListenSocket) Pending() int { return ls.acceptQ.Len() }
+
+// Accept pops an established connection from the accept queue. The
+// syscall's CPU cost (CostModel.ConnSetup) is the caller's to account —
+// servers post it as a work item in whose completion they call Accept.
+func (ls *ListenSocket) Accept() (*Conn, bool) {
+	c, ok := ls.acceptQ.Pop()
+	if ok {
+		ls.accepted++
+	}
+	return c, ok
+}
+
+// Close unbinds the socket.
+func (ls *ListenSocket) Close() {
+	if ls.closed {
+		return
+	}
+	ls.closed = true
+	ls.k.net.demux.Remove(ls.lis)
+	for {
+		if _, ok := ls.acceptQ.Pop(); !ok {
+			break
+		}
+	}
+}
+
+// Conn is one established connection.
+type Conn struct {
+	k      *Kernel
+	id     uint64
+	fd     int
+	client netsim.Addr
+	ls     *ListenSocket
+	proc   *Process
+	// container is the connection's resource binding: protocol processing
+	// for the connection is charged to it (ModeRC).
+	container *rc.Container
+	// OnRequest is the application's upcall when a request arrives on the
+	// connection; the application schedules its own work in response.
+	// Requests arriving before the handler is installed are buffered and
+	// delivered by SetOnRequest (the kernel socket buffer).
+	OnRequest func(*Conn, any)
+	pending   []any
+	closed    bool
+	// memHolder is the container charged for the connection's socket
+	// buffers at admission time; the charge is released on Close.
+	memHolder *rc.Container
+}
+
+// SetOnRequest installs the request upcall and drains any buffered
+// requests that arrived before the server finished accepting.
+func (c *Conn) SetOnRequest(fn func(*Conn, any)) {
+	c.OnRequest = fn
+	for len(c.pending) > 0 && c.OnRequest != nil && !c.closed {
+		payload := c.pending[0]
+		c.pending = c.pending[1:]
+		c.OnRequest(c, payload)
+	}
+}
+
+// ID returns the kernel connection identifier.
+func (c *Conn) ID() uint64 { return c.id }
+
+// FD returns the application-visible descriptor number; select()-style
+// servers handle ready events in ascending FD order.
+func (c *Conn) FD() int { return c.fd }
+
+// Client returns the peer address.
+func (c *Conn) Client() netsim.Addr { return c.client }
+
+// Process returns the owning process.
+func (c *Conn) Process() *Process { return c.proc }
+
+// Container returns the connection's resource binding.
+func (c *Conn) Container() *rc.Container { return c.container }
+
+// SetContainer rebinds the connection's descriptor to a container
+// (§4.6); subsequent kernel processing for the connection is charged to
+// it.
+func (c *Conn) SetContainer(rcc *rc.Container) { c.container = rcc }
+
+// Closed reports whether the connection has been torn down.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Close tears the connection down. The teardown CPU cost is part of
+// CostModel.ConnSetup, accounted by the server's accept/close work items.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.k.Tracer.Emit(c.k.Now(), trace.KindConn, "closed conn %d", c.id)
+	if c.memHolder != nil && !c.memHolder.Destroyed() {
+		_ = c.memHolder.ChargeMemory(-SocketBufferBytes)
+	}
+	delete(c.k.net.conns, c.id)
+}
+
+// Send transmits a response of the given size on the connection: the
+// send-side protocol cost runs in syscall context on the calling thread
+// (charged to chargeTo), then the response reaches the client one wire
+// delay later.
+func (c *Conn) Send(t *Thread, size int, chargeTo *rc.Container, onDelivered func()) {
+	if c.closed {
+		return
+	}
+	if chargeTo != nil {
+		chargeTo.ChargePacketOut(size)
+	}
+	t.PostFunc("send", c.k.costs.SendProtocol, rc.KernelCPU, chargeTo, func() {
+		if onDelivered != nil {
+			c.k.eng.After(c.k.costs.WireDelay, onDelivered)
+		}
+	})
+}
+
+// ClientSend injects a packet from the client network: it reaches the
+// server NIC one wire delay from now, unless wire-loss injection drops
+// it (WireLossRate).
+func (k *Kernel) ClientSend(pkt *netsim.Packet) {
+	if k.WireLossRate > 0 {
+		if k.lossRNG == nil {
+			k.lossRNG = k.eng.Rand().Fork(0xD0BB5)
+		}
+		if k.lossRNG.Float64() < k.WireLossRate {
+			k.Tracer.Emit(k.Now(), trace.KindDrop, "wire loss: %s", pkt)
+			return
+		}
+	}
+	k.eng.After(k.costs.WireDelay, func() { k.Arrive(pkt) })
+}
+
+// Arrive is the NIC receive path: every packet raises an interrupt. What
+// happens inside the interrupt depends on the kernel mode (§4.7).
+func (k *Kernel) Arrive(pkt *netsim.Packet) {
+	k.Tracer.Emit(k.Now(), trace.KindPacket, "%s", pkt)
+	switch k.mode {
+	case ModeUnmodified:
+		// All protocol processing at interrupt level, FIFO, charged to
+		// the unlucky running principal.
+		k.cpu.RaiseInterrupt(&intrWork{
+			label:           "intr+proto",
+			cost:            k.costs.Interrupt + k.protoCost(pkt),
+			chargePreempted: true,
+			onDone:          func() { k.protoProcess(pkt, nil) },
+		})
+	case ModeLRP, ModeRC:
+		k.cpu.RaiseInterrupt(&intrWork{
+			label:           "intr+demux",
+			cost:            k.costs.Interrupt + k.costs.Demux,
+			chargePreempted: true,
+			onDone:          func() { k.earlyDemux(pkt) },
+		})
+	}
+}
+
+// protoCost returns the protocol-processing CPU cost for a packet.
+func (k *Kernel) protoCost(pkt *netsim.Packet) sim.Duration {
+	switch pkt.Kind {
+	case netsim.SYN:
+		return k.costs.SYNProtocol
+	case netsim.FIN:
+		return k.costs.FINProtocol
+	default:
+		return k.costs.RecvProtocol
+	}
+}
+
+// earlyDemux classifies the packet at interrupt level (LRP/RC) and queues
+// it for the destination's kernel network thread, charging the
+// destination container for the demux work and dropping on backlog
+// overflow.
+func (k *Kernel) earlyDemux(pkt *netsim.Packet) {
+	proc, cont, ls := k.route(pkt)
+	if proc == nil {
+		return // no matching socket: packet dropped silently
+	}
+	if k.mode == ModeRC && cont != nil {
+		cont.ChargeCPU(rc.KernelCPU, k.costs.Demux)
+		cont.ChargePacketIn(pkt.Size)
+	}
+	if pkt.Kind == netsim.SYN && ls != nil && !pkt.Bogus && ls.pendingSYN+ls.acceptQ.Len() >= ls.acceptQ.Cap() {
+		// Excess connection requests are discarded at demultiplexing,
+		// before any protocol processing is invested — LRP's "excess
+		// traffic is discarded early" (§3.2), which is what keeps the
+		// LRP and RC systems stable under overload.
+		k.Tracer.Emit(k.Now(), trace.KindDrop, "early drop, accept queue full: %s", pkt)
+		if cont != nil {
+			cont.ChargeDrop()
+		}
+		ls.synDrops++
+		if ls.cfg.OnSynDrop != nil {
+			ls.cfg.OnSynDrop(pkt.Src)
+		}
+		return
+	}
+	if pkt.Kind == netsim.SYN && ls != nil && !pkt.Bogus {
+		ls.pendingSYN++
+	}
+	w := &pktWork{
+		pkt:       pkt,
+		container: cont,
+		cost:      k.protoCost(pkt),
+		run:       func() { k.protoProcess(pkt, ls) },
+	}
+	if !proc.netQ.enqueue(w) {
+		k.Tracer.Emit(k.Now(), trace.KindDrop, "backlog full: %s", pkt)
+		if cont != nil {
+			cont.ChargeDrop()
+		}
+		if pkt.Kind == netsim.SYN && ls != nil {
+			ls.synDrops++
+			if ls.cfg.OnSynDrop != nil {
+				ls.cfg.OnSynDrop(pkt.Src)
+			}
+		}
+		return
+	}
+	proc.netThread.Wake()
+}
+
+// route finds the destination process, charge container and (for SYNs)
+// listening socket of a packet.
+func (k *Kernel) route(pkt *netsim.Packet) (*Process, *rc.Container, *ListenSocket) {
+	if pkt.Kind == netsim.SYN {
+		l := k.net.demux.Match(pkt.Dst, pkt.Src.IP)
+		if l == nil {
+			return nil, nil, nil
+		}
+		ls := l.Owner.(*ListenSocket)
+		return ls.proc, ls.container, ls
+	}
+	c, ok := k.net.conns[pkt.ConnID]
+	if !ok || c.closed {
+		return nil, nil, nil
+	}
+	return c.proc, c.container, c.ls
+}
+
+// protoProcess performs the protocol processing effects of a packet once
+// its cost has been paid (at interrupt level in ModeUnmodified, on the
+// kernel network thread otherwise). ls is pre-routed for LRP/RC; in
+// unmodified mode routing happens here, "inside" the protocol work.
+func (k *Kernel) protoProcess(pkt *netsim.Packet, ls *ListenSocket) {
+	switch pkt.Kind {
+	case netsim.SYN:
+		if ls == nil {
+			l := k.net.demux.Match(pkt.Dst, pkt.Src.IP)
+			if l == nil {
+				return
+			}
+			ls = l.Owner.(*ListenSocket)
+		}
+		k.handleSYN(pkt, ls)
+	case netsim.Data:
+		c, ok := k.net.conns[pkt.ConnID]
+		if !ok || c.closed {
+			return
+		}
+		if c.OnRequest != nil {
+			c.OnRequest(c, pkt.Payload)
+		} else {
+			c.pending = append(c.pending, pkt.Payload)
+		}
+	case netsim.FIN:
+		c, ok := k.net.conns[pkt.ConnID]
+		if !ok {
+			return
+		}
+		c.Close()
+	}
+}
+
+// handleSYN establishes a connection (legit SYN) or parks a bogus SYN in
+// the embryonic queue until its timeout.
+func (k *Kernel) handleSYN(pkt *netsim.Packet, ls *ListenSocket) {
+	if k.mode != ModeUnmodified && !pkt.Bogus && ls.pendingSYN > 0 {
+		ls.pendingSYN--
+	}
+	if ls.closed {
+		return
+	}
+	if pkt.Bogus {
+		// A flood SYN occupies an embryonic slot until the retransmit
+		// timer abandons it. Slots expire lazily: all bogus entries share
+		// one timeout, so expiries leave the queue in FIFO order.
+		ls.expireSyns(k.Now())
+		if ls.synQ.Full() {
+			k.Tracer.Emit(k.Now(), trace.KindDrop, "SYN queue full: %s", pkt)
+			ls.synDrops++
+			if ls.cfg.OnSynDrop != nil {
+				ls.cfg.OnSynDrop(pkt.Src)
+			}
+			return
+		}
+		ls.synQ.Push(k.Now().Add(BogusSynTimeout))
+		return
+	}
+	if ls.acceptQ.Full() {
+		k.Tracer.Emit(k.Now(), trace.KindDrop, "accept queue full: %s", pkt)
+		ls.synDrops++
+		if ls.cfg.OnSynDrop != nil {
+			ls.cfg.OnSynDrop(pkt.Src)
+		}
+		return
+	}
+	// Admission control on kernel memory (§4.4): socket buffers are
+	// charged to the socket's container; a subtree at its memory limit
+	// cannot accept more connections.
+	var memHolder *rc.Container
+	if k.mode == ModeRC && ls.container != nil {
+		if err := ls.container.ChargeMemory(SocketBufferBytes); err != nil {
+			k.Tracer.Emit(k.Now(), trace.KindDrop, "memory limit: %s (%v)", pkt, err)
+			ls.synDrops++
+			ls.container.ChargeDrop()
+			if ls.cfg.OnSynDrop != nil {
+				ls.cfg.OnSynDrop(pkt.Src)
+			}
+			return
+		}
+		memHolder = ls.container
+	}
+	k.net.nextID++
+	conn := &Conn{
+		k:         k,
+		id:        k.net.nextID,
+		fd:        int(k.net.nextID),
+		client:    pkt.Src,
+		ls:        ls,
+		proc:      ls.proc,
+		container: ls.container,
+		memHolder: memHolder,
+	}
+	k.Tracer.Emit(k.Now(), trace.KindConn, "established conn %d from %s", conn.id, pkt.Src)
+	k.net.conns[conn.id] = conn
+	ls.acceptQ.Push(conn)
+	if ls.cfg.OnAcceptable != nil {
+		ls.cfg.OnAcceptable(ls)
+	}
+	// The client learns about the established connection one wire delay
+	// later (the SYN-ACK): a SYN may carry a client callback as payload.
+	if cb, ok := pkt.Payload.(func(*Conn)); ok {
+		k.eng.After(k.costs.WireDelay, func() { cb(conn) })
+	}
+}
+
+// LookupConn returns the connection with the given id, if established.
+func (k *Kernel) LookupConn(id uint64) (*Conn, bool) {
+	c, ok := k.net.conns[id]
+	return c, ok
+}
+
+// pktWork is protocol processing pending on a kernel network thread.
+type pktWork struct {
+	pkt       *netsim.Packet
+	label     string
+	container *rc.Container
+	cost      sim.Duration
+	run       func()
+	seq       uint64
+}
+
+// pktQueue is the per-process pending-protocol queue. In ModeRC it is
+// ordered by container priority (§4.7: "the priority of these containers
+// determines the order in which they are serviced"); in ModeLRP it is a
+// single FIFO. Each container's backlog is bounded.
+type pktQueue struct {
+	k       *Kernel
+	queues  []*contQueue
+	nextSeq uint64
+	backlog int
+}
+
+type contQueue struct {
+	c *rc.Container
+	q *netsim.Queue[*pktWork]
+	// servedWeighted is the QoS-normalized protocol work already done
+	// for this container; among equal-priority containers the one with
+	// the least weighted service goes first (§4.1 network QoS values).
+	servedWeighted float64
+}
+
+func newPktQueue(k *Kernel) *pktQueue {
+	return &pktQueue{k: k, backlog: DefaultNetBacklog}
+}
+
+func (pq *pktQueue) queueFor(c *rc.Container) *contQueue {
+	for _, cq := range pq.queues {
+		if cq.c == c {
+			return cq
+		}
+	}
+	cq := &contQueue{c: c, q: netsim.NewQueue[*pktWork](pq.backlog)}
+	// A new flow joins the weighted-fair service at the current virtual
+	// time (the minimum of the active flows), so it neither inherits
+	// past credit nor starves standing backlogs.
+	first := true
+	for _, other := range pq.queues {
+		if other.q.Len() == 0 {
+			continue
+		}
+		if first || other.servedWeighted < cq.servedWeighted {
+			cq.servedWeighted = other.servedWeighted
+			first = false
+		}
+	}
+	pq.queues = append(pq.queues, cq)
+	return cq
+}
+
+// enqueue adds pending protocol work; it reports false when the backlog
+// is full and the packet must be dropped.
+func (pq *pktQueue) enqueue(w *pktWork) bool {
+	w.seq = pq.nextSeq
+	pq.nextSeq++
+	var cq *contQueue
+	if pq.k.mode == ModeRC {
+		cq = pq.queueFor(w.container)
+	} else {
+		cq = pq.queueFor(nil) // LRP: one FIFO for the whole process
+	}
+	return cq.q.Push(w)
+}
+
+// HasWork implements WorkSource.
+func (pq *pktQueue) HasWork() bool {
+	for _, cq := range pq.queues {
+		if cq.q.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// NextWork implements WorkSource: the pending packet whose container has
+// the highest priority runs first; among equal priorities the container
+// with the least QoS-weighted service goes first, then arrival order.
+func (pq *pktQueue) NextWork() *WorkItem {
+	var best *contQueue
+	bestPrio := -1
+	bestWeighted := 0.0
+	var bestSeq uint64
+	for _, cq := range pq.queues {
+		head, ok := cq.q.Peek()
+		if !ok {
+			continue
+		}
+		prio := 0
+		if cq.c != nil {
+			prio = cq.c.EffectivePriority()
+		}
+		better := best == nil || prio > bestPrio
+		if !better && prio == bestPrio {
+			if cq.servedWeighted != bestWeighted {
+				better = cq.servedWeighted < bestWeighted
+			} else {
+				better = head.seq < bestSeq
+			}
+		}
+		if better {
+			best, bestPrio, bestWeighted, bestSeq = cq, prio, cq.servedWeighted, head.seq
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	w, _ := best.q.Pop()
+	weight := 1.0
+	if best.c != nil {
+		weight = best.c.QoSWeight()
+	}
+	best.servedWeighted += float64(w.cost) / weight
+	if best.q.Len() == 0 {
+		// Drop the drained per-container queue so that short-lived
+		// per-connection containers do not accumulate.
+		for i, cq := range pq.queues {
+			if cq == best {
+				pq.queues = append(pq.queues[:i], pq.queues[i+1:]...)
+				break
+			}
+		}
+	}
+	cont := w.container
+	if pq.k.mode != ModeRC {
+		cont = nil
+	}
+	label := w.label
+	if label == "" {
+		label = "proto:" + w.pkt.Kind.String()
+	}
+	return &WorkItem{
+		Label:     label,
+		Cost:      w.cost,
+		Kind:      rc.KernelCPU,
+		Container: cont,
+		OnDone:    w.run,
+	}
+}
+
+// topPriority returns the highest container priority among pending
+// packets, or -1 when nothing is pending.
+func (pq *pktQueue) topPriority() int {
+	best := -1
+	for _, cq := range pq.queues {
+		if cq.q.Len() == 0 {
+			continue
+		}
+		prio := 0
+		if cq.c != nil {
+			prio = cq.c.EffectivePriority()
+		}
+		if prio > best {
+			best = prio
+		}
+	}
+	return best
+}
+
+// requeueFront parks a partially processed work item back at the head of
+// its container's queue, so higher-priority pending packets can be served
+// first (§4.7: service strictly in container-priority order).
+func (pq *pktQueue) requeueFront(item *WorkItem) {
+	cq := pq.queueFor(item.Container)
+	cq.q.PushFront(&pktWork{
+		label:     item.Label,
+		container: item.Container,
+		cost:      item.Cost,
+		run:       item.OnDone,
+	})
+}
+
+// PendingContainers returns the containers that currently have pending
+// protocol work (nil entries are skipped by the scheduler).
+func (pq *pktQueue) PendingContainers() []*rc.Container {
+	out := make([]*rc.Container, 0, len(pq.queues))
+	for _, cq := range pq.queues {
+		if cq.q.Len() > 0 && cq.c != nil {
+			out = append(out, cq.c)
+		}
+	}
+	return out
+}
+
+// Len returns total pending packets.
+func (pq *pktQueue) Len() int {
+	n := 0
+	for _, cq := range pq.queues {
+		n += cq.q.Len()
+	}
+	return n
+}
+
+var _ fmt.Stringer = Mode(0)

@@ -1,0 +1,280 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"rescon/internal/rc"
+)
+
+func rcProc(t *testing.T) (*Kernel, *Process) {
+	t.Helper()
+	_, k := newKernel(ModeRC)
+	return k, k.NewProcess("app")
+}
+
+func TestCreateContainerSyscall(t *testing.T) {
+	_, p := rcProc(t)
+	d, err := p.CreateContainer(NoParent, rc.TimeShare, "c", rc.Attributes{Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.Lookup(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "c" || c.Refs() != 1 {
+		t.Fatalf("container state: %v refs=%d", c, c.Refs())
+	}
+}
+
+func TestCreateContainerWithParentDesc(t *testing.T) {
+	_, p := rcProc(t)
+	pd, err := p.CreateContainer(NoParent, rc.FixedShare, "parent", rc.Attributes{Limit: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := p.CreateContainer(pd, rc.TimeShare, "child", rc.Attributes{Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, _ := p.Lookup(pd)
+	child, _ := p.Lookup(cd)
+	if child.Parent() != parent {
+		t.Fatal("parent not set")
+	}
+}
+
+func TestCreateContainerBadParent(t *testing.T) {
+	_, p := rcProc(t)
+	if _, err := p.CreateContainer(rc.Desc(42), rc.TimeShare, "c", rc.Attributes{}); !errors.Is(err, rc.ErrBadDescriptor) {
+		t.Fatalf("want ErrBadDescriptor, got %v", err)
+	}
+}
+
+func TestReleaseContainerDestroys(t *testing.T) {
+	_, p := rcProc(t)
+	d, _ := p.CreateContainer(NoParent, rc.TimeShare, "c", rc.Attributes{})
+	c, _ := p.Lookup(d)
+	if err := p.ReleaseContainer(d); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Destroyed() {
+		t.Fatal("container should be destroyed after last descriptor closes")
+	}
+	if err := p.ReleaseContainer(d); !errors.Is(err, rc.ErrBadDescriptor) {
+		t.Fatalf("double release: %v", err)
+	}
+}
+
+func TestSetContainerParentSyscall(t *testing.T) {
+	_, p := rcProc(t)
+	pd, _ := p.CreateContainer(NoParent, rc.FixedShare, "parent", rc.Attributes{})
+	cd, _ := p.CreateContainer(NoParent, rc.TimeShare, "child", rc.Attributes{})
+	if err := p.SetContainerParent(cd, pd); err != nil {
+		t.Fatal(err)
+	}
+	child, _ := p.Lookup(cd)
+	parent, _ := p.Lookup(pd)
+	if child.Parent() != parent {
+		t.Fatal("SetContainerParent failed")
+	}
+	// "No parent" detaches (§4.6).
+	if err := p.SetContainerParent(cd, NoParent); err != nil {
+		t.Fatal(err)
+	}
+	if child.Parent() != nil {
+		t.Fatal("NoParent did not detach")
+	}
+}
+
+func TestContainerAttrsSyscalls(t *testing.T) {
+	_, p := rcProc(t)
+	d, _ := p.CreateContainer(NoParent, rc.TimeShare, "c", rc.Attributes{Priority: 3})
+	got, err := p.ContainerAttrs(d)
+	if err != nil || got.Priority != 3 {
+		t.Fatalf("attrs %v err %v", got, err)
+	}
+	got.Priority = 9
+	if err := p.SetContainerAttrs(d, got); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := p.ContainerAttrs(d)
+	if got2.Priority != 9 {
+		t.Fatal("attrs not updated")
+	}
+	if err := p.SetContainerAttrs(d, rc.Attributes{Priority: -1}); !errors.Is(err, rc.ErrBadAttributes) {
+		t.Fatalf("bad attrs: %v", err)
+	}
+}
+
+func TestContainerUsageSyscall(t *testing.T) {
+	eng, k := newKernel(ModeRC)
+	p := k.NewProcess("app")
+	d, _ := p.CreateContainer(NoParent, rc.TimeShare, "c", rc.Attributes{Priority: 5})
+	c, _ := p.Lookup(d)
+	th := p.NewThread("t")
+	th.PostFunc("w", 3*1000*1000, rc.UserCPU, c, nil) // 3 ms
+	eng.Run()
+	u, err := p.ContainerUsage(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.CPUUser != 3*1000*1000 {
+		t.Fatalf("usage %v", u.CPUUser)
+	}
+}
+
+func TestMoveContainerSyscall(t *testing.T) {
+	k, p := rcProc(t)
+	p2 := k.NewProcess("other")
+	d, _ := p.CreateContainer(NoParent, rc.TimeShare, "c", rc.Attributes{})
+	nd, err := p.MoveContainer(d, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := p.Lookup(d)
+	c2, err := p2.Lookup(nd)
+	if err != nil || c1 != c2 {
+		t.Fatal("moved container not shared")
+	}
+	// Sender retains access; refcount covers both descriptors.
+	if c1.Refs() != 2 {
+		t.Fatalf("refs %d, want 2", c1.Refs())
+	}
+	// Moving to an exited process fails.
+	p3 := k.NewProcess("dead")
+	p3.Exit()
+	if _, err := p.MoveContainer(d, p3); !errors.Is(err, ErrProcessExited) {
+		t.Fatalf("move to exited process: %v", err)
+	}
+}
+
+func TestContainerHandleSyscall(t *testing.T) {
+	_, p := rcProc(t)
+	d, _ := p.CreateContainer(NoParent, rc.TimeShare, "c", rc.Attributes{})
+	c, _ := p.Lookup(d)
+	h, err := p.ContainerHandle(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h == d {
+		t.Fatal("handle should be a fresh descriptor")
+	}
+	if c.Refs() != 2 {
+		t.Fatalf("refs %d", c.Refs())
+	}
+}
+
+func TestBindThreadSyscall(t *testing.T) {
+	k, p := rcProc(t)
+	th := p.NewThread("t")
+	d, _ := p.CreateContainer(NoParent, rc.TimeShare, "c", rc.Attributes{Priority: 1})
+	if err := p.BindThread(th, d); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := p.Lookup(d)
+	if p.ThreadBinding(th) != c {
+		t.Fatal("thread binding not set")
+	}
+	// Binding to a non-leaf container is rejected (§4.5).
+	pd, _ := p.CreateContainer(NoParent, rc.FixedShare, "parent", rc.Attributes{})
+	if _, err := p.CreateContainer(pd, rc.TimeShare, "kid", rc.Attributes{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.BindThread(th, pd); !errors.Is(err, rc.ErrNotLeaf) {
+		t.Fatalf("bind to non-leaf: %v", err)
+	}
+	_ = k
+}
+
+func TestResetSchedBindingSyscall(t *testing.T) {
+	_, p := rcProc(t)
+	th := p.NewThread("t")
+	d1, _ := p.CreateContainer(NoParent, rc.TimeShare, "a", rc.Attributes{Priority: 1})
+	d2, _ := p.CreateContainer(NoParent, rc.TimeShare, "b", rc.Attributes{Priority: 1})
+	_ = p.BindThread(th, d1)
+	_ = p.BindThread(th, d2)
+	if len(th.Entity().Binding()) < 2 {
+		t.Fatal("scheduler binding should hold both")
+	}
+	p.ResetSchedBinding(th)
+	bs := th.Entity().Binding()
+	c2, _ := p.Lookup(d2)
+	if len(bs) != 1 || bs[0] != c2 {
+		t.Fatalf("reset binding: %v", bs)
+	}
+}
+
+func TestBindConnAndListenSocketSyscalls(t *testing.T) {
+	eng, k := newKernel(ModeRC)
+	p := k.NewProcess("app")
+	var conn *Conn
+	ls, err := k.Listen(p, ListenConfig{
+		Local:        srvAddr,
+		OnAcceptable: func(l *ListenSocket) { conn, _ = l.Accept() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.ClientSend(SYNPacket(client(1), srvAddr, false))
+	eng.Run()
+	d, _ := p.CreateContainer(NoParent, rc.TimeShare, "c", rc.Attributes{Priority: 7})
+	c, _ := p.Lookup(d)
+	if err := p.BindConn(conn, d); err != nil {
+		t.Fatal(err)
+	}
+	if conn.Container() != c {
+		t.Fatal("conn binding failed")
+	}
+	if err := p.BindListenSocket(ls, d); err != nil {
+		t.Fatal(err)
+	}
+	if ls.Container() != c {
+		t.Fatal("listen socket binding failed")
+	}
+}
+
+func TestSyscallsRequireRCMode(t *testing.T) {
+	_, k := newKernel(ModeUnmodified)
+	p := k.NewProcess("app")
+	if _, err := p.CreateContainer(NoParent, rc.TimeShare, "c", rc.Attributes{}); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("want ErrWrongMode, got %v", err)
+	}
+	if err := p.ReleaseContainer(0); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("want ErrWrongMode, got %v", err)
+	}
+	if _, err := p.ContainerUsage(0); !errors.Is(err, ErrWrongMode) {
+		t.Fatalf("want ErrWrongMode, got %v", err)
+	}
+}
+
+func TestSyscallsOnExitedProcess(t *testing.T) {
+	_, k := newKernel(ModeRC)
+	p := k.NewProcess("app")
+	p.Exit()
+	if _, err := p.CreateContainer(NoParent, rc.TimeShare, "c", rc.Attributes{}); !errors.Is(err, ErrProcessExited) {
+		t.Fatalf("want ErrProcessExited, got %v", err)
+	}
+}
+
+func TestForkInheritsDescriptors(t *testing.T) {
+	_, p := rcProc(t)
+	d, _ := p.CreateContainer(NoParent, rc.TimeShare, "c", rc.Attributes{})
+	child, err := p.Fork("child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := child.Lookup(d)
+	if err != nil {
+		t.Fatal("child did not inherit descriptor")
+	}
+	pc, _ := p.Lookup(d)
+	if cc != pc {
+		t.Fatal("inherited descriptor names a different container")
+	}
+	// Child default container is the parent's (inherited binding, §4.2).
+	if child.DefaultContainer != p.DefaultContainer {
+		t.Fatal("child default container not inherited")
+	}
+}

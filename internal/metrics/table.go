@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table renders aligned text tables, in the spirit of the paper's Table 1
+// and the figure data the experiment drivers emit.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table to w as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// RenderSeries writes one or more curves that share an x axis as a single
+// table: the x column followed by one y column per series.
+func RenderSeries(w io.Writer, title, xLabel string, series ...*Series) {
+	headers := append([]string{xLabel}, make([]string, len(series))...)
+	for i, s := range series {
+		headers[i+1] = s.Name
+	}
+	t := NewTable(title, headers...)
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := make([]any, len(series)+1)
+		row[0] = x
+		for i, s := range series {
+			if y, ok := s.YAt(x); ok {
+				row[i+1] = y
+			} else {
+				row[i+1] = "-"
+			}
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+}
+
+// RenderCSV writes the table as CSV (header row then data rows), for
+// import into plotting tools.
+func (t *Table) RenderCSV(w io.Writer) {
+	cw := csv.NewWriter(w)
+	_ = cw.Write(t.Headers)
+	for _, row := range t.Rows {
+		_ = cw.Write(row)
+	}
+	cw.Flush()
+}
+
+// RenderSeriesCSV writes curves sharing an x axis as CSV: the x column
+// followed by one column per series. Missing points are empty cells.
+func RenderSeriesCSV(w io.Writer, xLabel string, series ...*Series) {
+	cw := csv.NewWriter(w)
+	headers := append([]string{xLabel}, make([]string, len(series))...)
+	for i, s := range series {
+		headers[i+1] = s.Name
+	}
+	_ = cw.Write(headers)
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := make([]string, len(series)+1)
+		row[0] = strconv.FormatFloat(x, 'g', -1, 64)
+		for i, s := range series {
+			if y, ok := s.YAt(x); ok {
+				row[i+1] = strconv.FormatFloat(y, 'g', -1, 64)
+			}
+		}
+		_ = cw.Write(row)
+	}
+	cw.Flush()
+}

@@ -1,0 +1,55 @@
+// Package netsim provides the network building blocks of the simulated
+// kernel: IPv4 addressing, the paper's new sockaddr namespace with CIDR
+// filters (§4.8), listener demultiplexing, bounded protocol queues, and
+// packet descriptors. It is pure data structure and policy — the kernel
+// (internal/kernel) supplies timing, costs and interrupt behaviour.
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IP is an IPv4 address in host byte order.
+type IP uint32
+
+// ParseIP parses a dotted-quad IPv4 address.
+func ParseIP(s string) (IP, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("netsim: bad IPv4 address %q", s)
+	}
+	var ip uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("netsim: bad IPv4 octet %q in %q", p, s)
+		}
+		ip = ip<<8 | uint32(v)
+	}
+	return IP(ip), nil
+}
+
+// MustParseIP is ParseIP for constant addresses; it panics on error.
+func MustParseIP(s string) IP {
+	ip, err := ParseIP(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// String formats the address as a dotted quad.
+func (ip IP) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Addr is a transport endpoint.
+type Addr struct {
+	IP   IP
+	Port uint16
+}
+
+// String formats the endpoint as ip:port.
+func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }

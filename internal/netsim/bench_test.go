@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkDemuxMatch(b *testing.B) {
+	var d Demux
+	srv := Addr{IP: MustParseIP("10.0.0.1"), Port: 80}
+	_ = d.Add(&Listener{Local: srv, Filter: Wildcard})
+	for i := 0; i < 8; i++ {
+		_ = d.Add(&Listener{Local: srv, Filter: Filter{Template: IP(i << 24), MaskBits: 8}})
+	}
+	src := MustParseIP("5.6.7.8")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.Match(srv, src) == nil {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkFilterMatches(b *testing.B) {
+	f := Filter{Template: MustParseIP("66.0.0.0"), MaskBits: 8}
+	ip := MustParseIP("66.1.2.3")
+	for i := 0; i < b.N; i++ {
+		if !f.Matches(ip) {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	q := NewQueue[int](1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}
+
+func BenchmarkParseIP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseIP("192.168.1.100"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIPString(b *testing.B) {
+	ip := MustParseIP("192.168.1.100")
+	for i := 0; i < b.N; i++ {
+		_ = fmt.Sprintf("%v", ip)
+	}
+}

@@ -1,0 +1,83 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Listener is one listening socket binding in the demultiplexer: a local
+// endpoint plus a client filter. Owner is an opaque reference to the
+// kernel's socket object.
+type Listener struct {
+	Local  Addr
+	Filter Filter
+	Owner  any
+}
+
+// String summarizes the binding.
+func (l *Listener) String() string {
+	return fmt.Sprintf("listen %s filter %s", l.Local, l.Filter)
+}
+
+// ErrAddrInUse is returned when binding a (local, filter) pair that is
+// already bound.
+var ErrAddrInUse = errors.New("netsim: address already in use")
+
+// Demux is the kernel's listening-socket demultiplexer, extended with the
+// paper's filter semantics: several sockets may share one local
+// <address, port> as long as their <template, mask> filters differ, and
+// an incoming SYN is assigned to the socket with the most specific
+// matching filter (§4.8).
+type Demux struct {
+	listeners []*Listener
+}
+
+// Add binds a listener. It fails if an identical (local, filter) binding
+// exists.
+func (d *Demux) Add(l *Listener) error {
+	if err := l.Filter.Validate(); err != nil {
+		return err
+	}
+	for _, x := range d.listeners {
+		if x.Local == l.Local && x.Filter == l.Filter {
+			return fmt.Errorf("%w: %s", ErrAddrInUse, l)
+		}
+	}
+	d.listeners = append(d.listeners, l)
+	return nil
+}
+
+// Remove unbinds a listener; unknown listeners are ignored.
+func (d *Demux) Remove(l *Listener) {
+	for i, x := range d.listeners {
+		if x == l {
+			d.listeners = append(d.listeners[:i], d.listeners[i+1:]...)
+			return
+		}
+	}
+}
+
+// Match returns the listener for a SYN from src to dst: the most specific
+// matching filter among sockets bound to the destination endpoint, or nil
+// when no socket matches. Earlier bindings win ties, deterministically.
+func (d *Demux) Match(dst Addr, src IP) *Listener {
+	var best *Listener
+	for _, l := range d.listeners {
+		if l.Local.Port != dst.Port {
+			continue
+		}
+		if l.Local.IP != 0 && l.Local.IP != dst.IP {
+			continue
+		}
+		if !l.Filter.Matches(src) {
+			continue
+		}
+		if best == nil || l.Filter.Specificity() > best.Filter.Specificity() {
+			best = l
+		}
+	}
+	return best
+}
+
+// Len returns the number of bound listeners.
+func (d *Demux) Len() int { return len(d.listeners) }

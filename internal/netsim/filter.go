@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Filter is the paper's new sockaddr namespace element (§4.8): a template
+// address plus a CIDR network mask specifying a set of foreign addresses.
+// A listening socket bound with a filter accepts connections only from
+// matching clients, so different client classes can be isolated — and
+// prioritized via the socket's resource container — before the
+// application ever sees a connection.
+type Filter struct {
+	Template IP
+	// MaskBits is the CIDR prefix length (0–32); 0 matches everything.
+	MaskBits int
+	// Complement inverts the match: the filter accepts clients NOT in the
+	// prefix. The paper suggests complement filters ("one might also want
+	// to be able to specify complement filters").
+	Complement bool
+}
+
+// ErrBadFilter reports an invalid CIDR mask length.
+var ErrBadFilter = errors.New("netsim: invalid filter mask")
+
+// Validate checks the mask length.
+func (f Filter) Validate() error {
+	if f.MaskBits < 0 || f.MaskBits > 32 {
+		return fmt.Errorf("%w: %d bits", ErrBadFilter, f.MaskBits)
+	}
+	return nil
+}
+
+func (f Filter) mask() uint32 {
+	if f.MaskBits <= 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - uint(f.MaskBits))
+}
+
+// Matches reports whether the client address is selected by the filter.
+func (f Filter) Matches(ip IP) bool {
+	m := f.mask()
+	in := uint32(ip)&m == uint32(f.Template)&m
+	if f.Complement {
+		return !in
+	}
+	return in
+}
+
+// Specificity orders filters for demultiplexing: longer prefixes win, and
+// a direct match beats a complement match of equal length (a complement
+// filter is a catch-all for "everyone else").
+func (f Filter) Specificity() int {
+	s := f.MaskBits * 2
+	if f.Complement {
+		s--
+	}
+	return s
+}
+
+// String formats the filter in CIDR notation.
+func (f Filter) String() string {
+	neg := ""
+	if f.Complement {
+		neg = "!"
+	}
+	return fmt.Sprintf("%s%s/%d", neg, f.Template, f.MaskBits)
+}
+
+// Wildcard matches every client: the ordinary (filterless) bind.
+var Wildcard = Filter{}

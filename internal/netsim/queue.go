@@ -1,0 +1,72 @@
+package netsim
+
+// Queue is a bounded FIFO. The kernel uses it for listen-socket SYN and
+// accept queues and for per-process protocol queues. A zero capacity
+// means unbounded (used for the baseline interrupt queue, whose unbounded
+// growth is exactly the receive-livelock failure mode).
+type Queue[T any] struct {
+	items []T
+	cap   int
+	drops uint64
+}
+
+// NewQueue returns a queue bounded at capacity (0 = unbounded).
+func NewQueue[T any](capacity int) *Queue[T] {
+	return &Queue[T]{cap: capacity}
+}
+
+// Push appends v, or drops it (counting the drop) when the queue is full.
+// It reports whether the item was accepted.
+func (q *Queue[T]) Push(v T) bool {
+	if q.cap > 0 && len(q.items) >= q.cap {
+		q.drops++
+		return false
+	}
+	q.items = append(q.items, v)
+	return true
+}
+
+// PushFront prepends v, bypassing the capacity bound: it exists to return
+// borrowed (partially processed) work to the head of the queue.
+func (q *Queue[T]) PushFront(v T) {
+	q.items = append([]T{v}, q.items...)
+}
+
+// Pop removes and returns the oldest item.
+func (q *Queue[T]) Pop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero // release reference
+	q.items = q.items[1:]
+	if len(q.items) == 0 {
+		q.items = nil // reset backing array so it cannot grow unboundedly
+	}
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Full reports whether a Push would drop.
+func (q *Queue[T]) Full() bool { return q.cap > 0 && len(q.items) >= q.cap }
+
+// Drops returns how many items have been rejected.
+func (q *Queue[T]) Drops() uint64 { return q.drops }
+
+// Clear empties the queue without counting drops.
+func (q *Queue[T]) Clear() { q.items = nil }

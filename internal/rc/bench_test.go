@@ -1,0 +1,47 @@
+package rc
+
+import (
+	"testing"
+
+	"rescon/internal/sim"
+)
+
+func BenchmarkChargeCPUDepth3(b *testing.B) {
+	root := MustNew(nil, FixedShare, "root", Attributes{})
+	mid := MustNew(root, FixedShare, "mid", Attributes{})
+	leaf := MustNew(mid, TimeShare, "leaf", Attributes{Priority: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaf.ChargeCPU(UserCPU, sim.Microsecond)
+	}
+}
+
+func BenchmarkNewRelease(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := MustNew(nil, TimeShare, "c", Attributes{Priority: 1})
+		_ = c.Release()
+	}
+}
+
+func BenchmarkTableOpenClose(b *testing.B) {
+	t := NewTable()
+	c := MustNew(nil, TimeShare, "c", Attributes{Priority: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := t.Open(c)
+		_ = t.Close(d)
+	}
+}
+
+func BenchmarkUsageRead(b *testing.B) {
+	c := MustNew(nil, TimeShare, "c", Attributes{Priority: 1})
+	c.ChargeCPU(UserCPU, sim.Millisecond)
+	var u Usage
+	for i := 0; i < b.N; i++ {
+		u = c.Usage()
+	}
+	_ = u
+}

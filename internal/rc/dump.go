@@ -1,0 +1,54 @@
+package rc
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Fprint writes the container hierarchy rooted at c as an indented tree
+// with attributes and usage — the administrator's view the paper implies
+// for accounting and capacity planning (§4.8: "sending accurate bills to
+// customers, and for use in capacity planning").
+func Fprint(w io.Writer, c *Container) {
+	fprintNode(w, c, 0)
+}
+
+func fprintNode(w io.Writer, c *Container, depth int) {
+	indent := strings.Repeat("  ", depth)
+	a := c.Attributes()
+	var attrs []string
+	if a.Priority > 0 {
+		attrs = append(attrs, fmt.Sprintf("prio=%d", a.Priority))
+	}
+	if a.Share > 0 {
+		attrs = append(attrs, fmt.Sprintf("share=%.0f%%", a.Share*100))
+	}
+	if a.Limit > 0 {
+		attrs = append(attrs, fmt.Sprintf("limit=%.0f%%", a.Limit*100))
+	}
+	if a.MemLimit > 0 {
+		attrs = append(attrs, fmt.Sprintf("mem<=%d", a.MemLimit))
+	}
+	if a.QoSWeight > 0 {
+		attrs = append(attrs, fmt.Sprintf("qos=%.1f", a.QoSWeight))
+	}
+	attrStr := ""
+	if len(attrs) > 0 {
+		attrStr = " [" + strings.Join(attrs, " ") + "]"
+	}
+	u := c.Usage()
+	fmt.Fprintf(w, "%s%s (%s)%s cpu=%v (u=%v k=%v) pkts=%d/%d mem=%d drops=%d\n",
+		indent, c.Name(), c.Class(), attrStr,
+		u.CPU(), u.CPUUser, u.CPUKernel, u.PacketsIn, u.PacketsOut, u.Memory, u.PacketsDropped)
+	for _, kid := range c.Children() {
+		fprintNode(w, kid, depth+1)
+	}
+}
+
+// Sprint returns the tree as a string.
+func Sprint(c *Container) string {
+	var b strings.Builder
+	Fprint(&b, c)
+	return b.String()
+}

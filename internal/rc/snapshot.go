@@ -1,0 +1,73 @@
+package rc
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Snapshot is a serializable view of a container subtree — attributes and
+// accumulated usage — for billing and capacity planning (§4.8: containers
+// "may be useful to administrators simply for sending accurate bills to
+// customers, and for use in capacity planning").
+type Snapshot struct {
+	ID       uint64     `json:"id"`
+	Name     string     `json:"name"`
+	Class    string     `json:"class"`
+	Attrs    Attributes `json:"attributes"`
+	Usage    Usage      `json:"usage"`
+	Children []Snapshot `json:"children,omitempty"`
+}
+
+// Capture builds a snapshot of the subtree rooted at c.
+func Capture(c *Container) Snapshot {
+	s := Snapshot{
+		ID:    c.ID(),
+		Name:  c.Name(),
+		Class: c.Class().String(),
+		Attrs: c.Attributes(),
+		Usage: c.Usage(),
+	}
+	for _, kid := range c.Children() {
+		s.Children = append(s.Children, Capture(kid))
+	}
+	return s
+}
+
+// WriteJSON writes the subtree snapshot as indented JSON.
+func WriteJSON(w io.Writer, c *Container) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Capture(c))
+}
+
+// Totals aggregates a snapshot's own usage (which already includes its
+// descendants) into billing-friendly scalars.
+type Totals struct {
+	CPUSeconds  float64 `json:"cpu_seconds"`
+	UserSeconds float64 `json:"user_seconds"`
+	KernSeconds float64 `json:"kernel_seconds"`
+	PacketsIn   uint64  `json:"packets_in"`
+	PacketsOut  uint64  `json:"packets_out"`
+	BytesIn     uint64  `json:"bytes_in"`
+	BytesOut    uint64  `json:"bytes_out"`
+	DiskBytes   uint64  `json:"disk_bytes"`
+	DiskSeconds float64 `json:"disk_seconds"`
+	Drops       uint64  `json:"drops"`
+}
+
+// Bill converts a snapshot into totals.
+func (s Snapshot) Bill() Totals {
+	u := s.Usage
+	return Totals{
+		CPUSeconds:  u.CPU().Seconds(),
+		UserSeconds: u.CPUUser.Seconds(),
+		KernSeconds: u.CPUKernel.Seconds(),
+		PacketsIn:   u.PacketsIn,
+		PacketsOut:  u.PacketsOut,
+		BytesIn:     u.BytesIn,
+		BytesOut:    u.BytesOut,
+		DiskBytes:   u.DiskBytes,
+		DiskSeconds: u.DiskTime.Seconds(),
+		Drops:       u.PacketsDropped,
+	}
+}

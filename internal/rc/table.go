@@ -1,0 +1,124 @@
+package rc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadDescriptor is returned when an operation names a descriptor that
+// is not open in the table.
+var ErrBadDescriptor = errors.New("rc: bad container descriptor")
+
+// Desc is a per-process container descriptor, analogous to a file
+// descriptor (§4.6: containers are visible to the application as file
+// descriptors).
+type Desc int
+
+// Table is a per-process table of container descriptors. Each open
+// descriptor holds one reference on its container; closing the descriptor
+// releases the reference, and the container is destroyed when no
+// descriptors and no thread bindings remain.
+type Table struct {
+	slots map[Desc]*Container
+	next  Desc
+}
+
+// NewTable returns an empty descriptor table.
+func NewTable() *Table {
+	return &Table{slots: make(map[Desc]*Container)}
+}
+
+// Open installs the container at the lowest unused descriptor, taking a
+// new reference.
+func (t *Table) Open(c *Container) (Desc, error) {
+	if err := c.Retain(); err != nil {
+		return -1, err
+	}
+	d := t.next
+	for {
+		if _, used := t.slots[d]; !used {
+			break
+		}
+		d++
+	}
+	t.slots[d] = c
+	t.next = d + 1
+	return d, nil
+}
+
+// Lookup returns the container open at d.
+func (t *Table) Lookup(d Desc) (*Container, error) {
+	c, ok := t.slots[d]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadDescriptor, d)
+	}
+	return c, nil
+}
+
+// Close releases the descriptor's reference and removes it from the table
+// (§4.6 "container release").
+func (t *Table) Close(d Desc) error {
+	c, ok := t.slots[d]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadDescriptor, d)
+	}
+	delete(t.slots, d)
+	if d < t.next {
+		t.next = d
+	}
+	return c.Release()
+}
+
+// Len returns the number of open descriptors.
+func (t *Table) Len() int { return len(t.slots) }
+
+// Fork duplicates the table for a child process: every open container is
+// inherited with its own new reference (§4.6: containers are inherited by
+// a new process after a fork()).
+func (t *Table) Fork() (*Table, error) {
+	child := NewTable()
+	for d, c := range t.slots {
+		if err := c.Retain(); err != nil {
+			// Roll back references taken so far.
+			for _, cc := range child.slots {
+				_ = cc.Release()
+			}
+			return nil, err
+		}
+		child.slots[d] = c
+	}
+	return child, nil
+}
+
+// Transfer passes the container open at d to the table dst, as in passing
+// a descriptor over a UNIX-domain socket. The sending process retains
+// access (§4.6), so the source descriptor stays open; dst gains its own
+// reference at a fresh descriptor.
+func (t *Table) Transfer(d Desc, dst *Table) (Desc, error) {
+	c, err := t.Lookup(d)
+	if err != nil {
+		return -1, err
+	}
+	return dst.Open(c)
+}
+
+// Descriptors returns the open descriptors in unspecified order.
+func (t *Table) Descriptors() []Desc {
+	out := make([]Desc, 0, len(t.slots))
+	for d := range t.slots {
+		out = append(out, d)
+	}
+	return out
+}
+
+// CloseAll closes every descriptor, releasing all references (process
+// exit). It returns the first error encountered but keeps going.
+func (t *Table) CloseAll() error {
+	var first error
+	for d := range t.slots {
+		if err := t.Close(d); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,152 @@
+package rc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTableOpenLookupClose(t *testing.T) {
+	tab := NewTable()
+	c := MustNew(nil, TimeShare, "c", Attributes{})
+	d, err := tab.Open(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Refs() != 2 {
+		t.Fatalf("refs %d, want 2 (creator + descriptor)", c.Refs())
+	}
+	got, err := tab.Lookup(d)
+	if err != nil || got != c {
+		t.Fatalf("Lookup: %v %v", got, err)
+	}
+	if err := tab.Close(d); err != nil {
+		t.Fatal(err)
+	}
+	if c.Refs() != 1 {
+		t.Fatalf("refs after close %d, want 1", c.Refs())
+	}
+	if _, err := tab.Lookup(d); !errors.Is(err, ErrBadDescriptor) {
+		t.Fatalf("want ErrBadDescriptor, got %v", err)
+	}
+	if err := tab.Close(d); !errors.Is(err, ErrBadDescriptor) {
+		t.Fatalf("double close: want ErrBadDescriptor, got %v", err)
+	}
+}
+
+func TestTableLowestDescriptorReuse(t *testing.T) {
+	tab := NewTable()
+	a := MustNew(nil, TimeShare, "a", Attributes{})
+	b := MustNew(nil, TimeShare, "b", Attributes{})
+	d0, _ := tab.Open(a)
+	d1, _ := tab.Open(b)
+	if d0 != 0 || d1 != 1 {
+		t.Fatalf("descriptors %d %d, want 0 1", d0, d1)
+	}
+	_ = tab.Close(d0)
+	d2, _ := tab.Open(a)
+	if d2 != 0 {
+		t.Fatalf("descriptor %d, want reused 0", d2)
+	}
+}
+
+func TestTableOpenDestroyed(t *testing.T) {
+	tab := NewTable()
+	c := MustNew(nil, TimeShare, "c", Attributes{})
+	_ = c.Release()
+	if _, err := tab.Open(c); !errors.Is(err, ErrDestroyed) {
+		t.Fatalf("want ErrDestroyed, got %v", err)
+	}
+}
+
+func TestTableLastCloseDestroys(t *testing.T) {
+	tab := NewTable()
+	c := MustNew(nil, TimeShare, "c", Attributes{})
+	d, _ := tab.Open(c)
+	_ = c.Release() // drop creator ref; descriptor keeps it alive
+	if c.Destroyed() {
+		t.Fatal("destroyed while descriptor open")
+	}
+	_ = tab.Close(d)
+	if !c.Destroyed() {
+		t.Fatal("should be destroyed after last descriptor closes")
+	}
+}
+
+func TestTableFork(t *testing.T) {
+	tab := NewTable()
+	c := MustNew(nil, TimeShare, "c", Attributes{})
+	d, _ := tab.Open(c)
+	child, err := tab.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Len() != 1 {
+		t.Fatalf("child table len %d, want 1", child.Len())
+	}
+	got, err := child.Lookup(d)
+	if err != nil || got != c {
+		t.Fatalf("child lookup: %v %v", got, err)
+	}
+	if c.Refs() != 3 { // creator + parent desc + child desc
+		t.Fatalf("refs %d, want 3", c.Refs())
+	}
+}
+
+func TestTableTransfer(t *testing.T) {
+	src, dst := NewTable(), NewTable()
+	c := MustNew(nil, TimeShare, "c", Attributes{})
+	d, _ := src.Open(c)
+	nd, err := src.Transfer(d, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender retains access (§4.6).
+	if _, err := src.Lookup(d); err != nil {
+		t.Fatal("sender lost access after transfer")
+	}
+	got, err := dst.Lookup(nd)
+	if err != nil || got != c {
+		t.Fatalf("receiver lookup: %v %v", got, err)
+	}
+	if c.Refs() != 3 {
+		t.Fatalf("refs %d, want 3", c.Refs())
+	}
+	if _, err := src.Transfer(99, dst); !errors.Is(err, ErrBadDescriptor) {
+		t.Fatalf("transfer of bad desc: %v", err)
+	}
+}
+
+func TestTableCloseAll(t *testing.T) {
+	tab := NewTable()
+	a := MustNew(nil, TimeShare, "a", Attributes{})
+	b := MustNew(nil, TimeShare, "b", Attributes{})
+	_, _ = tab.Open(a)
+	_, _ = tab.Open(b)
+	if err := tab.CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("table len %d after CloseAll", tab.Len())
+	}
+	if a.Refs() != 1 || b.Refs() != 1 {
+		t.Fatal("references not released")
+	}
+}
+
+func TestTableDescriptors(t *testing.T) {
+	tab := NewTable()
+	c := MustNew(nil, TimeShare, "c", Attributes{})
+	d0, _ := tab.Open(c)
+	d1, _ := tab.Open(c)
+	ds := tab.Descriptors()
+	if len(ds) != 2 {
+		t.Fatalf("Descriptors len %d", len(ds))
+	}
+	seen := map[Desc]bool{}
+	for _, d := range ds {
+		seen[d] = true
+	}
+	if !seen[d0] || !seen[d1] {
+		t.Fatalf("Descriptors missing entries: %v", ds)
+	}
+}

@@ -1,0 +1,187 @@
+// Package rcruntime applies resource containers to *real* Go programs —
+// the userspace approximation of the paper's kernel mechanism. A kernel
+// can charge and schedule transparently; a user-space library cannot, so
+// enforcement is cooperative: request handlers bracket their work with
+// Acquire/After, and the Enforcer delays work whose container subtree has
+// exhausted its CPU limit for the current window (the §4.1 Limit
+// attribute), while accounting actual usage into the same rc.Container
+// hierarchy the simulation uses.
+//
+// What this gives a real server:
+//
+//   - per-activity CPU accounting (wall-clock of bracketed sections,
+//     aggregated up the container hierarchy);
+//   - hard CPU limits per subtree, enforced by admission delay over a
+//     sliding window — the cooperative analogue of §5.6's sandboxes;
+//   - the same billing/snapshot tooling (rc.Capture, rc.WriteJSON).
+//
+// What it cannot give (and the paper's kernel could): involuntary
+// preemption, charging of kernel-mode protocol processing, and priority
+// scheduling of the network stack. Those require the kernel path this
+// repository simulates instead.
+package rcruntime
+
+import (
+	"sync"
+	"time"
+
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+)
+
+// Clock abstracts time so tests can run instantly and deterministically.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// DefaultWindow is the limit-enforcement window: a subtree with Limit L
+// may consume at most L×window of CPU per window.
+const DefaultWindow = 100 * time.Millisecond
+
+// Enforcer admits work against container CPU limits and accounts usage.
+// It is safe for concurrent use; all container mutations happen under its
+// lock (the rc package itself is not concurrency-safe).
+type Enforcer struct {
+	clock  Clock
+	window time.Duration
+
+	mu          sync.Mutex
+	windowStart time.Time
+	snapshots   map[*rc.Container]time.Duration // subtree usage at window start
+	waiters     map[*rc.Container][]chan struct{}
+}
+
+// New returns an enforcer using the given clock (nil for the wall clock)
+// and window (0 for DefaultWindow).
+func New(clock Clock, window time.Duration) *Enforcer {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Enforcer{
+		clock:     clock,
+		window:    window,
+		snapshots: make(map[*rc.Container]time.Duration),
+		waiters:   make(map[*rc.Container][]chan struct{}),
+	}
+}
+
+// Window returns the enforcement window.
+func (e *Enforcer) Window() time.Duration { return e.window }
+
+func (e *Enforcer) usage(c *rc.Container) time.Duration {
+	return time.Duration(c.Usage().CPU())
+}
+
+// rollLocked starts a new window if the current one has expired, waking
+// all throttled waiters.
+func (e *Enforcer) rollLocked(now time.Time) {
+	if now.Sub(e.windowStart) < e.window {
+		return
+	}
+	e.windowStart = now
+	for c := range e.snapshots {
+		if c.Destroyed() {
+			delete(e.snapshots, c)
+			continue
+		}
+		e.snapshots[c] = e.usage(c)
+	}
+	for c, ws := range e.waiters {
+		for _, ch := range ws {
+			close(ch)
+		}
+		delete(e.waiters, c)
+	}
+}
+
+// overLimitLocked returns the first ancestor (or c itself) whose limit
+// budget for this window is exhausted, or nil.
+func (e *Enforcer) overLimitLocked(c *rc.Container, now time.Time) *rc.Container {
+	e.rollLocked(now)
+	for p := c; p != nil; p = p.Parent() {
+		l := p.Attributes().Limit
+		if l <= 0 {
+			continue
+		}
+		snap, ok := e.snapshots[p]
+		if !ok {
+			snap = e.usage(p)
+			e.snapshots[p] = snap
+		}
+		budget := time.Duration(l * float64(e.window))
+		if e.usage(p)-snap >= budget {
+			return p
+		}
+	}
+	return nil
+}
+
+// Acquire blocks until c's subtree has limit budget, then returns a
+// charge function the caller must invoke with the work's actual duration
+// when done (typically via defer with a start timestamp). Work on
+// unlimited containers is admitted immediately.
+func (e *Enforcer) Acquire(c *rc.Container) (charge func(actual time.Duration)) {
+	for {
+		e.mu.Lock()
+		now := e.clock.Now()
+		blocked := e.overLimitLocked(c, now)
+		if blocked == nil {
+			e.mu.Unlock()
+			break
+		}
+		ch := make(chan struct{})
+		e.waiters[blocked] = append(e.waiters[blocked], ch)
+		wait := e.window - now.Sub(e.windowStart)
+		e.mu.Unlock()
+		// Wait for the window to roll (either by timer or by another
+		// acquirer rolling it first).
+		select {
+		case <-ch:
+		case <-e.sleepCh(wait):
+		}
+	}
+	return func(actual time.Duration) {
+		if actual < 0 {
+			return
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if !c.Destroyed() {
+			c.ChargeCPU(rc.UserCPU, sim.Duration(actual))
+		}
+	}
+}
+
+// Do brackets fn with Acquire and actual-time charging.
+func (e *Enforcer) Do(c *rc.Container, fn func()) {
+	charge := e.Acquire(c)
+	start := e.clock.Now()
+	fn()
+	charge(e.clock.Now().Sub(start))
+}
+
+// sleepCh returns a channel closed after d via the enforcer's clock.
+func (e *Enforcer) sleepCh(d time.Duration) <-chan struct{} {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	ch := make(chan struct{})
+	go func() {
+		e.clock.Sleep(d)
+		close(ch)
+	}()
+	return ch
+}

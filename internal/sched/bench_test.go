@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+)
+
+// Benchmarks for the scheduler hot path: Pick with a realistic number of
+// runnable entities and binding sizes.
+
+func benchScheduler(b *testing.B, nEntities, bindingSize int) {
+	s := NewContainerScheduler()
+	now := sim.Time(0)
+	for i := 0; i < nEntities; i++ {
+		e := &Entity{ID: uint64(i + 1)}
+		s.Register(e)
+		for j := 0; j < bindingSize; j++ {
+			c := rc.MustNew(nil, rc.TimeShare, fmt.Sprintf("c%d-%d", i, j),
+				rc.Attributes{Priority: 1 + (i+j)%5})
+			s.Bind(e, c, now)
+		}
+		s.SetRunnable(e, true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.Pick(now)
+		if e == nil {
+			b.Fatal("no entity")
+		}
+		s.Charge(e, e.Resource, 100*sim.Microsecond, now)
+		now = now.Add(100 * sim.Microsecond)
+	}
+}
+
+func BenchmarkPick8Entities(b *testing.B)    { benchScheduler(b, 8, 1) }
+func BenchmarkPick64Entities(b *testing.B)   { benchScheduler(b, 64, 1) }
+func BenchmarkPickWideBindings(b *testing.B) { benchScheduler(b, 8, 16) }
+func BenchmarkDecaySchedulerPick(b *testing.B) {
+	s := NewDecayScheduler()
+	now := sim.Time(0)
+	for i := 0; i < 16; i++ {
+		e := &Entity{ID: uint64(i + 1), Proc: NewProcPrincipal("p")}
+		s.Register(e)
+		s.SetRunnable(e, true)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := s.Pick(now)
+		s.Charge(e, nil, 100*sim.Microsecond, now)
+		now = now.Add(100 * sim.Microsecond)
+	}
+}

@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"testing"
+
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+)
+
+func TestLotteryProportionalShares(t *testing.T) {
+	s := NewContainerScheduler()
+	s.SetLeafPolicy(PolicyLottery, 7)
+	ca := rc.MustNew(nil, rc.TimeShare, "a", rc.Attributes{Priority: 1})
+	cb := rc.MustNew(nil, rc.TimeShare, "b", rc.Attributes{Priority: 2})
+	a := leafEntity(1, ca, s)
+	b := leafEntity(2, cb, s)
+	got := drive(s, 30*sim.Second)
+	within(t, frac(got[a], 30*sim.Second), 1.0/3.0, 0.05, "1-ticket share")
+	within(t, frac(got[b], 30*sim.Second), 2.0/3.0, 0.05, "2-ticket share")
+}
+
+func TestLotteryRespectsCaps(t *testing.T) {
+	// Lottery only governs the normal class; caps still bind.
+	s := NewContainerScheduler()
+	s.SetLeafPolicy(PolicyLottery, 7)
+	capped := rc.MustNew(nil, rc.FixedShare, "capped", rc.Attributes{Limit: 0.2})
+	leaf := rc.MustNew(capped, rc.TimeShare, "leaf", rc.Attributes{Priority: 10})
+	free := rc.MustNew(nil, rc.TimeShare, "free", rc.Attributes{Priority: 1})
+	c := leafEntity(1, leaf, s)
+	f := leafEntity(2, free, s)
+	got := drive(s, 20*sim.Second)
+	within(t, frac(got[c], 20*sim.Second), 0.2, 0.02, "capped share under lottery")
+	within(t, frac(got[f], 20*sim.Second), 0.8, 0.02, "free share under lottery")
+}
+
+func TestLotteryRespectsGuarantees(t *testing.T) {
+	s := NewContainerScheduler()
+	s.SetLeafPolicy(PolicyLottery, 7)
+	g := rc.MustNew(nil, rc.FixedShare, "guest", rc.Attributes{Share: 0.6})
+	gl := rc.MustNew(g, rc.TimeShare, "gwork", rc.Attributes{Priority: 1})
+	ts := rc.MustNew(nil, rc.TimeShare, "ts", rc.Attributes{Priority: 50})
+	ge := leafEntity(1, gl, s)
+	leafEntity(2, ts, s)
+	got := drive(s, 20*sim.Second)
+	within(t, frac(got[ge], 20*sim.Second), 0.6, 0.03, "guarantee under lottery")
+}
+
+func TestLotteryIdleClassStillStarves(t *testing.T) {
+	s := NewContainerScheduler()
+	s.SetLeafPolicy(PolicyLottery, 7)
+	normal := rc.MustNew(nil, rc.TimeShare, "normal", rc.Attributes{Priority: 1})
+	idle := rc.MustNew(nil, rc.TimeShare, "idle", rc.Attributes{Priority: 0})
+	leafEntity(1, normal, s)
+	i := leafEntity(2, idle, s)
+	got := drive(s, 5*sim.Second)
+	if got[i] != 0 {
+		t.Fatalf("idle-class ran %v under lottery with normal work pending", got[i])
+	}
+}
+
+func TestLotteryDeterministic(t *testing.T) {
+	run := func() map[*Entity]sim.Duration {
+		s := NewContainerScheduler()
+		s.SetLeafPolicy(PolicyLottery, 99)
+		ca := rc.MustNew(nil, rc.TimeShare, "a", rc.Attributes{Priority: 3})
+		cb := rc.MustNew(nil, rc.TimeShare, "b", rc.Attributes{Priority: 5})
+		leafEntity(1, ca, s)
+		leafEntity(2, cb, s)
+		return drive(s, 2*sim.Second)
+	}
+	g1, g2 := run(), run()
+	var v1, v2 []sim.Duration
+	for _, v := range g1 {
+		v1 = append(v1, v)
+	}
+	for _, v := range g2 {
+		v2 = append(v2, v)
+	}
+	if len(v1) != len(v2) {
+		t.Fatal("different entity counts")
+	}
+	var s1, s2 sim.Duration
+	for i := range v1 {
+		s1 += v1[i]
+		s2 += v2[i]
+	}
+	if s1 != s2 {
+		t.Fatalf("lottery not deterministic: totals %v vs %v", s1, s2)
+	}
+}
+
+func TestLotteryManyEntitiesFairness(t *testing.T) {
+	s := NewContainerScheduler()
+	s.SetLeafPolicy(PolicyLottery, 3)
+	var es []*Entity
+	for i := 0; i < 8; i++ {
+		c := rc.MustNew(nil, rc.TimeShare, "c", rc.Attributes{Priority: 1})
+		es = append(es, leafEntity(uint64(i+1), c, s))
+	}
+	got := drive(s, 40*sim.Second)
+	for i, e := range es {
+		within(t, frac(got[e], 40*sim.Second), 0.125, 0.03, "entity "+string(rune('0'+i)))
+	}
+}

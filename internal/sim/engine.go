@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// EventFunc is the body of a scheduled event. It runs at its scheduled
+// virtual time with the engine's clock already advanced.
+type EventFunc func()
+
+// Event is a handle to a scheduled event, usable for cancellation.
+type Event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among events at the same instant
+	fn     EventFunc
+	index  int // heap index; -1 once removed
+	dead   bool
+	engine *Engine
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel removes the event from the queue. Cancelling an event that has
+// already fired or been cancelled is a no-op. Cancel reports whether the
+// event was actually pending.
+func (e *Event) Cancel() bool {
+	if e.dead || e.index < 0 {
+		return false
+	}
+	heap.Remove(&e.engine.queue, e.index)
+	e.dead = true
+	return true
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (e *Event) Pending() bool { return !e.dead && e.index >= 0 }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. It is not safe for concurrent use;
+// simulations are single-goroutine by design, which is what makes them
+// deterministic.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *RNG
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and a deterministic
+// RNG seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random number generator.
+func (e *Engine) Rand() *RNG { return e.rng }
+
+// Pending returns the number of events currently queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn EventFunc) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. Negative delays panic.
+func (e *Engine) After(d Duration, fn EventFunc) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Stop makes Run and RunUntil return after the currently executing event
+// completes. The queue is left intact, so the simulation can be resumed.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.dead = true
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events in timestamp order until the queue is empty, the
+// engine is stopped, or the next event would be after deadline. The clock
+// finishes at min(deadline, time of last executed event); if the queue
+// drains early the clock is advanced to the deadline so that rate and
+// utilization calculations see the full interval.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		if e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+}
+
+// Run executes events until the queue is empty or the engine is stopped.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Every schedules fn to run periodically with the given period, starting
+// one period from now, until the returned Ticker is stopped.
+func (e *Engine) Every(period Duration, fn EventFunc) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly fires an event with a fixed period.
+type Ticker struct {
+	engine  *Engine
+	period  Duration
+	fn      EventFunc
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels all future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random number generator
+// (xorshift64*, Vigna 2016). We implement it directly rather than using
+// math/rand so that the generated streams are stable across Go releases:
+// experiment outputs in EXPERIMENTS.md must be reproducible forever.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because xorshift has a zero fixed point.
+func NewRNG(seed int64) *RNG {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15 // golden-ratio constant
+	}
+	return &RNG{state: s}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high-quality bits, the standard conversion.
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative random int64.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Exp returns an exponentially distributed duration with the given mean,
+// the classic model for inter-arrival gaps in open-loop traffic.
+func (r *RNG) Exp(mean Duration) Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 { // avoid log(0)
+		u = r.Float64()
+	}
+	return Duration(-math.Log(u) * float64(mean))
+}
+
+// Uniform returns a uniform duration in [lo, hi).
+func (r *RNG) Uniform(lo, hi Duration) Duration {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Duration(r.Float64()*float64(hi-lo))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Fork derives an independent generator whose stream is a deterministic
+// function of this generator's state and the label. Use it to give each
+// client/flow its own stream so that adding one client does not perturb
+// the randomness seen by the others.
+func (r *RNG) Fork(label uint64) *RNG {
+	// SplitMix64 over (state ^ label) gives well-separated streams.
+	z := r.state ^ (label * 0xBF58476D1CE4E5B9)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return &RNG{state: z}
+}

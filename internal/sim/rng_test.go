@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced stuck generator")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(5)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(9)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	r := NewRNG(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	mean := 10 * Millisecond
+	var sum Duration
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatal("Exp returned negative duration")
+		}
+		sum += v
+	}
+	got := float64(sum) / n
+	want := float64(mean)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("Exp mean %v, want ~%v", Duration(got), mean)
+	}
+}
+
+func TestExpZeroMean(t *testing.T) {
+	r := NewRNG(1)
+	if r.Exp(0) != 0 {
+		t.Fatal("Exp(0) should be 0")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRNG(17)
+	lo, hi := 2*Millisecond, 8*Millisecond
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(lo, hi)
+		if v < lo || v >= hi {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	if r.Uniform(hi, lo) != hi {
+		t.Fatal("Uniform with inverted bounds should return lo")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(19)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := NewRNG(23)
+	a := r.Fork(1)
+	b := r.Fork(2)
+	// Forks with different labels from the same parent state must differ.
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("forked streams identical")
+	}
+	// Forking is deterministic: same parent state + label => same stream.
+	r2 := NewRNG(23)
+	a2 := r2.Fork(1)
+	a3 := NewRNG(23).Fork(1)
+	if a2.Uint64() != a3.Uint64() {
+		t.Fatal("fork not deterministic")
+	}
+}
+
+// Property: Fork never returns a generator with a zero (stuck) state.
+func TestForkNeverZero(t *testing.T) {
+	f := func(seed int64, label uint64) bool {
+		g := NewRNG(seed).Fork(label)
+		return g.state != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

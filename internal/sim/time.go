@@ -1,0 +1,94 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, a pending-event queue, and a seedable random number
+// generator. Every subsystem in this repository (scheduler, kernel,
+// network, servers, workloads) runs on top of this engine, which makes
+// every experiment reproducible bit-for-bit.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It is deliberately distinct from time.Time so that simulated
+// code cannot accidentally consult the wall clock.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration so the familiar unit constants can be converted directly.
+type Duration int64
+
+// Convenient duration units, matching time package conventions.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds returns the duration as a floating-point number of ms.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds returns the duration as a floating-point number of µs.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Std converts d to a time.Duration (both are nanosecond counts).
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// FromStd converts a time.Duration to a sim.Duration.
+func FromStd(d time.Duration) Duration { return Duration(d) }
+
+// String formats the duration using time.Duration's human-readable form.
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// DurationOf validates and converts a floating-point number of seconds.
+func DurationOf(seconds float64) Duration {
+	return Duration(seconds * float64(Second))
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Duration) Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Duration) Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Rate describes an event rate in events per virtual second.
+type Rate float64
+
+// Interval returns the mean inter-event gap for the rate. It panics if the
+// rate is not positive, because a zero rate has no finite interval.
+func (r Rate) Interval() Duration {
+	if r <= 0 {
+		panic(fmt.Sprintf("sim: non-positive rate %v has no interval", float64(r)))
+	}
+	return Duration(float64(Second) / float64(r))
+}

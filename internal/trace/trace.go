@@ -1,0 +1,102 @@
+// Package trace provides a bounded, deterministic event log for the
+// simulated kernel. Tracing is off unless a Tracer is attached, so the
+// hot paths pay only a nil check.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rescon/internal/sim"
+)
+
+// Kind classifies trace events so consumers can filter.
+type Kind string
+
+// Event kinds emitted by the kernel.
+const (
+	KindPacket    Kind = "packet"    // NIC arrival
+	KindDrop      Kind = "drop"      // packet dropped (backlog, SYN queue, memory)
+	KindConn      Kind = "conn"      // connection established / closed
+	KindDispatch  Kind = "dispatch"  // CPU slice start
+	KindInterrupt Kind = "interrupt" // interrupt-level work
+	KindContainer Kind = "container" // container lifecycle
+)
+
+// Event is one trace record.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Detail string
+}
+
+// String formats the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%-12v %-10s %s", e.At, e.Kind, e.Detail)
+}
+
+// Tracer is a bounded ring of events.
+type Tracer struct {
+	events []Event
+	next   int
+	full   bool
+	total  uint64
+	// Filter, when non-nil, drops events whose kind maps to false.
+	Filter map[Kind]bool
+}
+
+// New returns a tracer holding the last capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Tracer{events: make([]Event, capacity)}
+}
+
+// Emit records an event (subject to the filter).
+func (t *Tracer) Emit(at sim.Time, kind Kind, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	if t.Filter != nil && !t.Filter[kind] {
+		return
+	}
+	t.events[t.next] = Event{At: at, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	t.next++
+	t.total++
+	if t.next == len(t.events) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// Total returns how many events have been emitted (including evicted).
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	if !t.full {
+		out := make([]Event, t.next)
+		copy(out, t.events[:t.next])
+		return out
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// Dump writes the retained events to w, most recent last.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// String returns the dump as a string.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	t.Dump(&b)
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rescon/internal/sim"
+)
+
+func TestEmitAndEvents(t *testing.T) {
+	tr := New(8)
+	for i := 0; i < 5; i++ {
+		tr.Emit(sim.Time(i), KindPacket, "pkt %d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 5 {
+		t.Fatalf("events %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != sim.Time(i) || e.Kind != KindPacket {
+			t.Fatalf("event %d: %+v", i, e)
+		}
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("Total %d", tr.Total())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(sim.Time(i), KindConn, "e%d", i)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	// Chronological order, last four.
+	for i, e := range evs {
+		if e.At != sim.Time(6+i) {
+			t.Fatalf("event %d at %v, want %d", i, e.At, 6+i)
+		}
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total %d", tr.Total())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tr := New(8)
+	tr.Filter = map[Kind]bool{KindDrop: true}
+	tr.Emit(0, KindPacket, "ignored")
+	tr.Emit(0, KindDrop, "kept")
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Kind != KindDrop {
+		t.Fatalf("filter failed: %v", evs)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(0, KindPacket, "no-op") // must not panic
+}
+
+func TestDumpFormat(t *testing.T) {
+	tr := New(4)
+	tr.Emit(sim.Time(sim.Millisecond), KindDrop, "SYN queue full")
+	out := tr.String()
+	if !strings.Contains(out, "drop") || !strings.Contains(out, "SYN queue full") {
+		t.Fatalf("dump: %q", out)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	tr := New(0)
+	for i := 0; i < 2000; i++ {
+		tr.Emit(sim.Time(i), KindConn, "e")
+	}
+	if len(tr.Events()) != 1024 {
+		t.Fatalf("default capacity: %d", len(tr.Events()))
+	}
+}

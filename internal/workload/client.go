@@ -1,0 +1,281 @@
+// Package workload implements the client side of the paper's experiments
+// (§5.2): closed-loop HTTP clients modeled on the S-Client [4], with
+// connection timeouts and retries; persistent-connection clients; CGI
+// request generators; and SYN flooders for the §5.7 attack.
+//
+// Clients run on the same virtual-time engine as the server kernel but
+// consume no server CPU: only their packets do, via the kernel's receive
+// path.
+package workload
+
+import (
+	"fmt"
+
+	"rescon/internal/httpsim"
+	"rescon/internal/kernel"
+	"rescon/internal/metrics"
+	"rescon/internal/netsim"
+	"rescon/internal/sim"
+)
+
+// ClientConfig configures one closed-loop client.
+type ClientConfig struct {
+	Kernel *kernel.Kernel
+	// Src is the client's address (its port is remapped per connection).
+	Src netsim.Addr
+	// Dst is the server endpoint.
+	Dst netsim.Addr
+	// Persistent reuses one connection for all requests (HTTP/1.1);
+	// otherwise each request opens a fresh connection (1 conn/request).
+	Persistent bool
+	// Think is the pause between receiving a response and issuing the
+	// next request. Zero means back-to-back (a saturating client).
+	Think sim.Duration
+	// Kind and CGICPU select the requested resource.
+	Kind   httpsim.RequestKind
+	CGICPU sim.Duration
+	// Uncached requests miss the filesystem cache and hit the disk.
+	Uncached bool
+	// PathFor, when set, names the document for each request (consulting
+	// the server's filesystem cache); the argument is the request number.
+	PathFor func(i uint64) string
+	// ConnectTimeout triggers a SYN retransmission; RequestTimeout
+	// abandons a connection whose response never arrives. Both default
+	// to 3 s, the BSD SYN retransmission interval.
+	ConnectTimeout sim.Duration
+	RequestTimeout sim.Duration
+}
+
+// Client is a closed-loop request generator: at most one outstanding
+// request, like one S-Client slot.
+type Client struct {
+	cfg      ClientConfig
+	k        *kernel.Kernel
+	eng      *sim.Engine
+	nextPort uint16
+	conn     *kernel.Conn
+	gen      uint64 // increments on every restart; stale callbacks no-op
+
+	// Latency records response times (ms) for completed requests.
+	Latency metrics.Summary
+	// Meter counts completed requests for throughput.
+	Meter *metrics.RateMeter
+	// Timeouts counts connect/request timeouts.
+	Timeouts metrics.Counter
+
+	rng     *sim.RNG
+	reqSeq  uint64
+	stopped bool
+}
+
+// StartClient launches the client's request loop immediately.
+func StartClient(cfg ClientConfig) *Client {
+	if cfg.ConnectTimeout <= 0 {
+		cfg.ConnectTimeout = 3 * sim.Second
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 3 * sim.Second
+	}
+	c := &Client{
+		cfg:      cfg,
+		k:        cfg.Kernel,
+		eng:      cfg.Kernel.Engine(),
+		nextPort: cfg.Src.Port,
+		Meter:    metrics.NewRateMeter(cfg.Kernel.Now()),
+	}
+	// Per-client deterministic randomness: think-time jitter
+	// desynchronizes the population, as natural variance would on a real
+	// testbed. The stream depends only on the client's address, so adding
+	// a client does not perturb the others.
+	c.rng = c.eng.Rand().Fork(uint64(cfg.Src.IP)<<16 | uint64(cfg.Src.Port))
+	if cfg.Think > 0 {
+		// Staggered start: spread initial requests over one think time.
+		c.eng.After(c.rng.Uniform(0, cfg.Think), func() { c.startRequest() })
+	} else {
+		c.startRequest()
+	}
+	return c
+}
+
+// Stop halts the loop after the current request completes or times out.
+func (c *Client) Stop() { c.stopped = true }
+
+// ResetStats discards warm-up measurements and starts a fresh window.
+func (c *Client) ResetStats() {
+	c.Latency.Reset()
+	c.Meter.Restart(c.k.Now())
+	c.Timeouts.Reset()
+}
+
+func (c *Client) srcAddr() netsim.Addr {
+	c.nextPort++
+	if c.nextPort == 0 {
+		c.nextPort = 1024
+	}
+	return netsim.Addr{IP: c.cfg.Src.IP, Port: c.nextPort}
+}
+
+// startRequest begins one request cycle: connect if needed, then send.
+func (c *Client) startRequest() {
+	if c.stopped {
+		return
+	}
+	start := c.k.Now()
+	if c.conn != nil && !c.conn.Closed() {
+		c.sendRequest(c.conn, start)
+		return
+	}
+	c.connect(start)
+}
+
+func (c *Client) connect(start sim.Time) {
+	gen := c.gen
+	established := false
+	src := c.srcAddr()
+	c.k.ClientSend(kernel.ConnectPacket(src, c.cfg.Dst, func(conn *kernel.Conn) {
+		if c.gen != gen || established || c.stopped {
+			return
+		}
+		established = true
+		c.conn = conn
+		c.sendRequest(conn, start)
+	}))
+	c.eng.After(c.cfg.ConnectTimeout, func() {
+		if c.gen != gen || established || c.stopped {
+			return
+		}
+		// SYN lost (queue overflow): retransmit, as the S-Client does.
+		c.Timeouts.Inc()
+		c.gen++
+		c.connect(start)
+	})
+}
+
+func (c *Client) sendRequest(conn *kernel.Conn, start sim.Time) {
+	gen := c.gen
+	answered := false
+	var path string
+	if c.cfg.PathFor != nil {
+		path = c.cfg.PathFor(c.reqSeq)
+		c.reqSeq++
+	}
+	req := &httpsim.Request{
+		Kind:       c.cfg.Kind,
+		Size:       1024,
+		CGICPU:     c.cfg.CGICPU,
+		Uncached:   c.cfg.Uncached,
+		Path:       path,
+		CloseAfter: !c.cfg.Persistent,
+		OnResponse: func(at sim.Time) {
+			if c.gen != gen || answered || c.stopped {
+				return
+			}
+			answered = true
+			c.Latency.ObserveDuration(at.Sub(start))
+			c.Meter.Observe(at)
+			if !c.cfg.Persistent {
+				c.conn = nil
+			}
+			c.think()
+		},
+	}
+	c.k.ClientSend(kernel.DataPacket(conn.Client(), c.cfg.Dst, conn.ID(), 512, req))
+	timeout := c.cfg.RequestTimeout
+	if c.cfg.Kind == httpsim.CGI {
+		// CGI responses legitimately take many seconds of CPU; give them
+		// a far larger allowance scaled by the job size.
+		timeout += 100 * c.cfg.CGICPU
+	}
+	c.eng.After(timeout, func() {
+		if c.gen != gen || answered || c.stopped {
+			return
+		}
+		c.Timeouts.Inc()
+		c.gen++
+		c.conn = nil
+		c.startRequest()
+	})
+}
+
+func (c *Client) think() {
+	if c.stopped {
+		return
+	}
+	if c.cfg.Think <= 0 {
+		c.startRequest()
+		return
+	}
+	// Uniform ±50% jitter around the configured think time.
+	pause := c.rng.Uniform(c.cfg.Think/2, c.cfg.Think*3/2)
+	c.eng.After(pause, func() { c.startRequest() })
+}
+
+// Population is a set of identically configured clients with pooled
+// statistics.
+type Population struct {
+	Clients []*Client
+}
+
+// StartPopulation launches n clients. Each gets a distinct source IP
+// derived from base (base+1, base+2, ...), so filters can address them.
+func StartPopulation(n int, base ClientConfig) *Population {
+	p := &Population{}
+	for i := 0; i < n; i++ {
+		cfg := base
+		cfg.Src.IP = base.Src.IP + netsim.IP(i)
+		p.Clients = append(p.Clients, StartClient(cfg))
+	}
+	return p
+}
+
+// ResetStats restarts every client's measurement window.
+func (p *Population) ResetStats() {
+	for _, c := range p.Clients {
+		c.ResetStats()
+	}
+}
+
+// Stop halts every client.
+func (p *Population) Stop() {
+	for _, c := range p.Clients {
+		c.Stop()
+	}
+}
+
+// Completed sums completed requests across the population.
+func (p *Population) Completed() uint64 {
+	var total uint64
+	for _, c := range p.Clients {
+		total += c.Meter.Count()
+	}
+	return total
+}
+
+// Rate returns the population's aggregate completion rate.
+func (p *Population) Rate(now sim.Time) float64 {
+	var total float64
+	for _, c := range p.Clients {
+		total += c.Meter.Rate(now)
+	}
+	return total
+}
+
+// MeanLatencyMs returns the mean response time across all clients' samples
+// in milliseconds.
+func (p *Population) MeanLatencyMs() float64 {
+	var sum float64
+	var n int
+	for _, c := range p.Clients {
+		sum += c.Latency.Mean() * float64(c.Latency.N())
+		n += c.Latency.N()
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// String summarizes the population.
+func (p *Population) String() string {
+	return fmt.Sprintf("population(%d clients)", len(p.Clients))
+}

@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"rescon/internal/kernel"
+	"rescon/internal/netsim"
+	"rescon/internal/sim"
+)
+
+// Flooder sends bogus SYN packets at a fixed rate from addresses inside a
+// source prefix — the "malicious clients" of §5.7.
+type Flooder struct {
+	k      *kernel.Kernel
+	dst    netsim.Addr
+	prefix netsim.IP
+	hosts  uint32
+	sent   uint64
+	ticker *sim.Ticker
+}
+
+// StartFlood begins a SYN flood of rate packets/second toward dst, with
+// source addresses cycling through `hosts` addresses starting at prefix.
+func StartFlood(k *kernel.Kernel, rate sim.Rate, prefix netsim.IP, hosts uint32, dst netsim.Addr) *Flooder {
+	if hosts == 0 {
+		hosts = 1
+	}
+	f := &Flooder{k: k, dst: dst, prefix: prefix, hosts: hosts}
+	f.ticker = k.Engine().Every(rate.Interval(), func() { f.sendOne() })
+	return f
+}
+
+func (f *Flooder) sendOne() {
+	src := netsim.Addr{
+		IP:   f.prefix + netsim.IP(uint32(f.sent)%f.hosts),
+		Port: uint16(1024 + f.sent%50000),
+	}
+	f.sent++
+	f.k.Arrive(kernel.SYNPacket(src, f.dst, true))
+}
+
+// Sent returns the number of flood packets emitted.
+func (f *Flooder) Sent() uint64 { return f.sent }
+
+// Stop ends the flood.
+func (f *Flooder) Stop() { f.ticker.Stop() }

@@ -1,0 +1,246 @@
+// Package rescon is the public facade of the resource-containers
+// reproduction (Banga, Druschel & Mogul, "Resource Containers: A New
+// Facility for Resource Management in Server Systems", OSDI 1999).
+//
+// The package re-exports the core abstractions so that applications deal
+// with a single import:
+//
+//   - Container / Attributes / Usage — the resource principal (§4.1–§4.6)
+//   - Kernel / Process / Thread — the simulated monolithic kernel with
+//     three execution models (unmodified, LRP, resource containers)
+//   - Server / MTServer — the event-driven and multi-threaded HTTP server
+//     models of §2
+//   - Client / Population / Flooder — workload generators (§5.2)
+//
+// # Quick start
+//
+//	s := rescon.NewSim(rescon.ModeRC, 42)
+//	srv, _ := rescon.NewServer(rescon.ServerConfig{
+//	    Kernel: s.Kernel, Name: "httpd",
+//	    Addr:   rescon.Addr("10.0.0.1", 80),
+//	    API:    rescon.EventAPI,
+//	    PerConnContainers: true,
+//	})
+//	clients := rescon.StartPopulation(8, rescon.ClientConfig{
+//	    Kernel: s.Kernel, Src: rescon.Addr("10.1.0.1", 1024),
+//	    Dst: rescon.Addr("10.0.0.1", 80),
+//	})
+//	s.RunFor(5 * rescon.Second)
+//	fmt.Println(clients.Rate(s.Now()), "requests/s")
+//	_ = srv
+//
+// See the examples/ directory for complete programs and cmd/rcbench for
+// the harness that regenerates every table and figure of the paper.
+package rescon
+
+import (
+	"time"
+
+	"rescon/internal/httpsim"
+	"rescon/internal/kernel"
+	"rescon/internal/netsim"
+	"rescon/internal/rc"
+	"rescon/internal/rcruntime"
+	"rescon/internal/sim"
+	"rescon/internal/workload"
+)
+
+// Core resource-container types (internal/rc).
+type (
+	// Container is a resource principal: the paper's core abstraction.
+	Container = rc.Container
+	// Attributes hold a container's scheduling parameters and limits.
+	Attributes = rc.Attributes
+	// ContainerUsage is the resource consumption charged to a container.
+	ContainerUsage = rc.Usage
+	// Class distinguishes fixed-share from time-share containers.
+	Class = rc.Class
+	// Desc is a per-process container descriptor.
+	Desc = rc.Desc
+)
+
+// Container classes.
+const (
+	TimeShare  = rc.TimeShare
+	FixedShare = rc.FixedShare
+)
+
+// NewContainer creates a resource container; see rc.New.
+func NewContainer(parent *Container, class Class, name string, attrs Attributes) (*Container, error) {
+	return rc.New(parent, class, name, attrs)
+}
+
+// Simulated kernel types (internal/kernel).
+type (
+	// Kernel is one simulated server machine.
+	Kernel = kernel.Kernel
+	// Mode selects the resource-management model.
+	Mode = kernel.Mode
+	// Process is a protection domain in the simulated kernel.
+	Process = kernel.Process
+	// Thread is a kernel-schedulable thread.
+	Thread = kernel.Thread
+	// Conn is an established connection.
+	Conn = kernel.Conn
+	// ListenSocket is a (possibly filtered) listening socket.
+	ListenSocket = kernel.ListenSocket
+	// ListenConfig configures a listening socket.
+	ListenConfig = kernel.ListenConfig
+	// CostModel holds the calibrated CPU costs of every processing stage.
+	CostModel = kernel.CostModel
+	// Address is a transport endpoint.
+	Address = netsim.Addr
+	// Filter is a CIDR filter of the new sockaddr namespace (§4.8).
+	Filter = netsim.Filter
+	// IP is an IPv4 address.
+	IP = netsim.IP
+)
+
+// Kernel execution models.
+const (
+	ModeUnmodified = kernel.ModeUnmodified
+	ModeLRP        = kernel.ModeLRP
+	ModeRC         = kernel.ModeRC
+)
+
+// DefaultPriority is the container priority used when none is specified;
+// priority 0 is the idle class.
+const DefaultPriority = kernel.DefaultPriority
+
+// NoParent passes "no parent" to container syscalls.
+const NoParent = kernel.NoParent
+
+// Addr builds an endpoint from a dotted-quad IP string and port.
+func Addr(ip string, port uint16) Address { return kernel.Addr(ip, port) }
+
+// CIDR builds a client filter from a dotted-quad prefix and mask length.
+func CIDR(prefix string, bits int) Filter { return kernel.FilterCIDR(prefix, bits) }
+
+// DefaultCosts returns the cost model calibrated to the paper's testbed.
+func DefaultCosts() CostModel { return kernel.DefaultCosts() }
+
+// Server models (internal/httpsim).
+type (
+	// Server is the single-process event-driven server (Fig. 2/10).
+	Server = httpsim.Server
+	// ServerConfig configures an event-driven server.
+	ServerConfig = httpsim.Config
+	// MTServer is the single-process multi-threaded server (Fig. 3/9).
+	MTServer = httpsim.MTServer
+	// Request is one HTTP request payload.
+	Request = httpsim.Request
+	// API selects select() vs the scalable event API.
+	API = httpsim.API
+)
+
+// Event APIs.
+const (
+	SelectAPI = httpsim.SelectAPI
+	EventAPI  = httpsim.EventAPI
+)
+
+// Request kinds.
+const (
+	Static = httpsim.Static
+	CGI    = httpsim.CGI
+)
+
+// NewServer starts an event-driven server; see httpsim.NewServer.
+func NewServer(cfg ServerConfig) (*Server, error) { return httpsim.NewServer(cfg) }
+
+// NewMTServer starts a multi-threaded server with the given pool size.
+func NewMTServer(cfg ServerConfig, threads int) (*MTServer, error) {
+	return httpsim.NewMTServer(cfg, threads)
+}
+
+// Workload types (internal/workload).
+type (
+	// Client is a closed-loop request generator (one S-Client slot).
+	Client = workload.Client
+	// ClientConfig configures a client.
+	ClientConfig = workload.ClientConfig
+	// Population is a set of clients with pooled statistics.
+	Population = workload.Population
+	// Flooder emits bogus SYNs at a fixed rate (§5.7).
+	Flooder = workload.Flooder
+)
+
+// StartClient launches one closed-loop client.
+func StartClient(cfg ClientConfig) *Client { return workload.StartClient(cfg) }
+
+// StartPopulation launches n clients with consecutive source addresses.
+func StartPopulation(n int, cfg ClientConfig) *Population {
+	return workload.StartPopulation(n, cfg)
+}
+
+// StartFlood begins a SYN flood; see workload.StartFlood.
+func StartFlood(k *Kernel, rate Rate, prefix IP, hosts uint32, dst Address) *Flooder {
+	return workload.StartFlood(k, rate, prefix, hosts, dst)
+}
+
+// Virtual-time types (internal/sim).
+type (
+	// Time is a point in virtual time.
+	Time = sim.Time
+	// Duration is a span of virtual time.
+	Duration = sim.Duration
+	// Rate is events per virtual second.
+	Rate = sim.Rate
+	// Engine is the discrete-event engine.
+	Engine = sim.Engine
+)
+
+// Duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Enforcer applies container CPU limits and accounting to real
+// (non-simulated) Go programs via cooperative bracketing — the userspace
+// approximation of the paper's kernel mechanism. See
+// examples/realtime-limiter.
+type Enforcer = rcruntime.Enforcer
+
+// NewEnforcer returns an enforcer over the wall clock with the given
+// limit window (0 for the default).
+func NewEnforcer(window time.Duration) *Enforcer {
+	return rcruntime.New(nil, window)
+}
+
+// Sim bundles a discrete-event engine with a simulated kernel.
+type Sim struct {
+	Engine *Engine
+	Kernel *Kernel
+}
+
+// NewSim creates a deterministic simulation in the given kernel mode.
+func NewSim(mode Mode, seed int64) *Sim {
+	eng := sim.NewEngine(seed)
+	return &Sim{Engine: eng, Kernel: kernel.New(eng, mode, kernel.DefaultCosts())}
+}
+
+// NewSimWithCosts creates a simulation with a custom cost model.
+func NewSimWithCosts(mode Mode, seed int64, costs CostModel) *Sim {
+	eng := sim.NewEngine(seed)
+	return &Sim{Engine: eng, Kernel: kernel.New(eng, mode, costs)}
+}
+
+// NewSMPSim creates a simulation of a multiprocessor machine: interrupts
+// go to CPU 0, threads migrate freely, and container shares/limits are
+// fractions of the whole machine.
+func NewSMPSim(mode Mode, seed int64, ncpus int) *Sim {
+	eng := sim.NewEngine(seed)
+	return &Sim{Engine: eng, Kernel: kernel.NewSMP(eng, mode, kernel.DefaultCosts(), ncpus)}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.Engine.Now() }
+
+// RunFor advances the simulation by d of virtual time.
+func (s *Sim) RunFor(d Duration) { s.Engine.RunUntil(s.Engine.Now().Add(d)) }
+
+// RunUntil advances the simulation to absolute virtual time t.
+func (s *Sim) RunUntil(t Time) { s.Engine.RunUntil(t) }

@@ -1,0 +1,198 @@
+package rescon
+
+import (
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quick-start, as a test: build a prioritized server on
+	// the RC kernel and drive it with the public API only.
+	s := NewSim(ModeRC, 42)
+	premium := CIDR("10.9.0.0", 16)
+	srv, err := NewServer(ServerConfig{
+		Kernel:            s.Kernel,
+		Name:              "httpd",
+		Addr:              Addr("10.0.0.1", 80),
+		API:               EventAPI,
+		PerConnContainers: true,
+		ConnPriority: func(a Address) int {
+			if premium.Matches(a.IP) {
+				return 30
+			}
+			return 1
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := StartPopulation(8, ClientConfig{
+		Kernel: s.Kernel,
+		Src:    Addr("10.1.0.1", 1024),
+		Dst:    Addr("10.0.0.1", 80),
+	})
+	vip := StartClient(ClientConfig{
+		Kernel: s.Kernel,
+		Src:    Addr("10.9.0.1", 1024),
+		Dst:    Addr("10.0.0.1", 80),
+		Think:  5 * Millisecond,
+	})
+	s.RunFor(3 * Second)
+
+	if clients.Completed() < 1000 {
+		t.Fatalf("population completed %d", clients.Completed())
+	}
+	if vip.Latency.N() == 0 {
+		t.Fatal("premium client served nothing")
+	}
+	if srv.StaticServed == 0 {
+		t.Fatal("server served nothing")
+	}
+	u := srv.Process().DefaultContainer.Usage()
+	if u.CPUKernel == 0 {
+		t.Fatal("no kernel CPU accounted to the server's default container")
+	}
+}
+
+func TestContainerHierarchyPublicAPI(t *testing.T) {
+	parent, err := NewContainer(nil, FixedShare, "guest", Attributes{Share: 0.5, Limit: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := NewContainer(parent, TimeShare, "conn", Attributes{Priority: DefaultPriority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if child.Parent() != parent {
+		t.Fatal("hierarchy broken")
+	}
+	child.ChargeCPU(0, Millisecond)
+	if parent.Usage().CPU() != Millisecond {
+		t.Fatal("usage did not aggregate to parent")
+	}
+}
+
+func TestMTServerPublicAPI(t *testing.T) {
+	s := NewSim(ModeRC, 7)
+	srv, err := NewMTServer(ServerConfig{
+		Kernel:            s.Kernel,
+		Name:              "mt-httpd",
+		Addr:              Addr("10.0.0.1", 80),
+		PerConnContainers: true,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := StartPopulation(8, ClientConfig{
+		Kernel: s.Kernel,
+		Src:    Addr("10.1.0.1", 1024),
+		Dst:    Addr("10.0.0.1", 80),
+		Think:  Millisecond,
+	})
+	s.RunFor(2 * Second)
+	if pop.Completed() < 500 {
+		t.Fatalf("completed %d", pop.Completed())
+	}
+	if srv.StaticServed == 0 {
+		t.Fatal("MT server served nothing")
+	}
+	if srv.OpenConns() < 0 {
+		t.Fatal("negative open connections")
+	}
+}
+
+func TestSynFloodDefensePublicAPI(t *testing.T) {
+	s := NewSim(ModeRC, 99)
+	srv, err := NewServer(ServerConfig{
+		Kernel: s.Kernel, Name: "httpd",
+		Addr: Addr("10.0.0.1", 80),
+		API:  EventAPI, PerConnContainers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floodCont, err := NewContainer(nil, TimeShare, "attackers", Attributes{Priority: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.AddListener(CIDR("66.0.0.0", 8), floodCont); err != nil {
+		t.Fatal(err)
+	}
+	good := StartPopulation(16, ClientConfig{
+		Kernel: s.Kernel,
+		Src:    Addr("10.1.0.1", 1024),
+		Dst:    Addr("10.0.0.1", 80),
+	})
+	StartFlood(s.Kernel, 30_000, Addr("66.0.0.1", 0).IP, 256, Addr("10.0.0.1", 80))
+	s.RunFor(Second)
+	good.ResetStats()
+	s.RunFor(2 * Second)
+	rate := good.Rate(s.Now())
+	if rate < 1500 {
+		t.Fatalf("defended throughput %.0f req/s under 30k SYN/s flood", rate)
+	}
+}
+
+func TestModesDiffer(t *testing.T) {
+	// The three kernel modes must be distinguishable end to end: under a
+	// 20k SYN/s flood the unmodified kernel collapses, RC does not.
+	run := func(mode Mode, defend bool) float64 {
+		s := NewSim(mode, 3)
+		srv, err := NewServer(ServerConfig{
+			Kernel: s.Kernel, Name: "httpd",
+			Addr: Addr("10.0.0.1", 80), API: SelectAPI,
+			PerConnContainers: mode == ModeRC,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if defend {
+			fc, _ := NewContainer(nil, TimeShare, "attackers", Attributes{Priority: 0})
+			if _, err := srv.AddListener(CIDR("66.0.0.0", 8), fc); err != nil {
+				t.Fatal(err)
+			}
+		}
+		good := StartPopulation(16, ClientConfig{
+			Kernel: s.Kernel,
+			Src:    Addr("10.1.0.1", 1024),
+			Dst:    Addr("10.0.0.1", 80),
+		})
+		StartFlood(s.Kernel, 20_000, Addr("66.0.0.1", 0).IP, 256, Addr("10.0.0.1", 80))
+		s.RunFor(Second)
+		good.ResetStats()
+		s.RunFor(2 * Second)
+		return good.Rate(s.Now())
+	}
+	unmod := run(ModeUnmodified, false)
+	rc := run(ModeRC, true)
+	if unmod > rc/10 {
+		t.Fatalf("unmodified (%v) should collapse vs defended RC (%v)", unmod, rc)
+	}
+}
+
+func TestFacadeConstructors(t *testing.T) {
+	costs := DefaultCosts()
+	if costs.PerRequestCost() <= 0 {
+		t.Fatal("bad default costs")
+	}
+	s := NewSimWithCosts(ModeLRP, 3, costs)
+	if s.Kernel.Mode() != ModeLRP {
+		t.Fatal("mode not applied")
+	}
+	s.RunUntil(Time(Millisecond))
+	if s.Now() != Time(Millisecond) {
+		t.Fatal("RunUntil did not advance")
+	}
+	smp := NewSMPSim(ModeRC, 3, 2)
+	if smp.Kernel.NumCPUs() != 2 {
+		t.Fatal("SMP CPUs not applied")
+	}
+	e := NewEnforcer(0)
+	if e.Window() <= 0 {
+		t.Fatal("enforcer window")
+	}
+	c, err := NewContainer(nil, TimeShare, "c", Attributes{Priority: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Do(c, func() {})
+}

@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench tier1 ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fast suite: -short skips the long experiment sweeps but keeps the
+# runtime invariant checker on (the experiments test Options enable it).
+test:
+	$(GO) test -short ./...
+
+# Full suite under the race detector — the tier-1 gate.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run - -bench . -benchtime 1x ./...
+
+tier1: build race
+
+ci: build vet race

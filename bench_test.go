@@ -209,7 +209,9 @@ type metricsSeries struct {
 
 func BenchmarkVServers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = experiments.VServers(benchOpt)
+		if _, err := experiments.VServers(benchOpt); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -11,8 +11,8 @@
 //	rcbench -seed 7          # different deterministic seed
 //
 // Experiments: table1, baseline, overhead, fig11, fig12, fig13, fig14,
-// fig14lrp, vservers, ablate-pruning, ablate-filter, ablate-api,
-// ablate-lrp.
+// fig14lrp, vservers, resilience, faults, ablate-pruning, ablate-filter,
+// ablate-api, ablate-lrp.
 package main
 
 import (
@@ -29,7 +29,7 @@ import (
 type runner struct {
 	name  string
 	inAll bool
-	run   func(opt experiments.Options)
+	run   func(opt experiments.Options) error
 }
 
 // asCSV switches output to CSV (for plotting tools); set by -csv.
@@ -51,47 +51,86 @@ func printSeries(title, xLabel string, series ...*metrics.Series) {
 	metrics.RenderSeries(os.Stdout, title, xLabel, series...)
 }
 
+// ok wraps a runner that cannot fail.
+func ok(run func(opt experiments.Options)) func(opt experiments.Options) error {
+	return func(opt experiments.Options) error {
+		run(opt)
+		return nil
+	}
+}
+
 var runners = []runner{
-	{"table1", true, func(opt experiments.Options) { printTable(experiments.Table1()) }},
-	{"baseline", true, func(opt experiments.Options) { printTable(experiments.Baseline(opt)) }},
-	{"overhead", true, func(opt experiments.Options) { printTable(experiments.Overhead(opt)) }},
-	{"fig11", true, func(opt experiments.Options) {
+	{"table1", true, func(opt experiments.Options) error {
+		t, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	}},
+	{"baseline", true, ok(func(opt experiments.Options) { printTable(experiments.Baseline(opt)) })},
+	{"overhead", true, ok(func(opt experiments.Options) { printTable(experiments.Overhead(opt)) })},
+	{"fig11", true, ok(func(opt experiments.Options) {
 		printSeries("Fig. 11: response time of one high-priority client vs. low-priority load (ms)",
 			"low-priority clients", experiments.Fig11(opt)...)
-	}},
+	})},
 	// fig12 renders both figures from the shared run; fig13 re-runs and
 	// prints only the CPU-share view for users who ask for it alone.
-	{"fig12", true, func(opt experiments.Options) { renderFig12(opt, true, true) }},
-	{"fig13", false, func(opt experiments.Options) { renderFig12(opt, false, true) }},
-	{"fig14", true, func(opt experiments.Options) {
+	{"fig12", true, ok(func(opt experiments.Options) { renderFig12(opt, true, true) })},
+	{"fig13", false, ok(func(opt experiments.Options) { renderFig12(opt, false, true) })},
+	{"fig14", true, ok(func(opt experiments.Options) {
 		printSeries("Fig. 14: server throughput under SYN-flooding attack (req/s)",
 			"SYN rate (1000s/s)", experiments.Fig14(opt)...)
-	}},
-	{"fig14lrp", false, func(opt experiments.Options) {
+	})},
+	{"fig14lrp", false, ok(func(opt experiments.Options) {
 		printSeries("Fig. 14 + LRP ablation: server throughput under SYN flood (req/s)",
 			"SYN rate (1000s/s)", experiments.Fig14WithLRP(opt)...)
+	})},
+	{"vservers", true, func(opt experiments.Options) error {
+		t, err := experiments.VServers(opt)
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
 	}},
-	{"vservers", true, func(opt experiments.Options) { printTable(experiments.VServers(opt)) }},
-	{"ablate-pruning", true, func(opt experiments.Options) { printTable(experiments.AblatePruning(opt)) }},
-	{"ablate-filter", true, func(opt experiments.Options) { printTable(experiments.AblateFilterPriority(opt)) }},
-	{"ablate-api", true, func(opt experiments.Options) { printTable(experiments.AblateEventAPI(opt)) }},
-	{"ablate-lrp", true, func(opt experiments.Options) { printTable(experiments.AblateLRPCharging(opt)) }},
-	{"ablate-policy", true, func(opt experiments.Options) { printTable(experiments.AblateLeafPolicy(opt)) }},
-	{"smp", true, func(opt experiments.Options) { printTable(experiments.SMP(opt)) }},
-	{"cachewar", true, func(opt experiments.Options) { printTable(experiments.CacheWar(opt)) }},
-	{"diskbound", true, func(opt experiments.Options) {
+	{"resilience", true, func(opt experiments.Options) error {
+		curves, err := experiments.ResilienceCurves(opt)
+		if err != nil {
+			return err
+		}
+		printSeries("Resilience: goodput under SYN flood vs. wire packet loss (req/s)",
+			"packet loss (%)", curves...)
+		return nil
+	}},
+	{"faults", true, func(opt experiments.Options) error {
+		t, err := experiments.FaultMatrix(opt)
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	}},
+	{"ablate-pruning", true, ok(func(opt experiments.Options) { printTable(experiments.AblatePruning(opt)) })},
+	{"ablate-filter", true, ok(func(opt experiments.Options) { printTable(experiments.AblateFilterPriority(opt)) })},
+	{"ablate-api", true, ok(func(opt experiments.Options) { printTable(experiments.AblateEventAPI(opt)) })},
+	{"ablate-lrp", true, ok(func(opt experiments.Options) { printTable(experiments.AblateLRPCharging(opt)) })},
+	{"ablate-policy", true, ok(func(opt experiments.Options) { printTable(experiments.AblateLeafPolicy(opt)) })},
+	{"smp", true, ok(func(opt experiments.Options) { printTable(experiments.SMP(opt)) })},
+	{"cachewar", true, ok(func(opt experiments.Options) { printTable(experiments.CacheWar(opt)) })},
+	{"diskbound", true, ok(func(opt experiments.Options) {
 		printSeries("Extension: premium-client response time with uncached documents (ms)",
 			"low-priority clients", experiments.DiskBound(opt)...)
-	}},
-	{"tail", true, func(opt experiments.Options) { printTable(experiments.TailLatency(opt)) }},
-	{"apache", true, func(opt experiments.Options) {
+	})},
+	{"tail", true, ok(func(opt experiments.Options) { printTable(experiments.TailLatency(opt)) })},
+	{"apache", true, ok(func(opt experiments.Options) {
 		printSeries("Extension: nice-based QoS (Apache-style, §6) vs. containers — T_high (ms)",
 			"low-priority clients", experiments.Apache(opt)...)
-	}},
-	{"overload", true, func(opt experiments.Options) {
+	})},
+	{"overload", true, ok(func(opt experiments.Options) {
 		printSeries("Extension: served vs. offered load — overload stability (req/s)",
 			"offered (req/s)", experiments.Overload(opt)...)
-	}},
+	})},
 }
 
 func renderFig12(opt experiments.Options, tput, share bool) {
@@ -111,25 +150,31 @@ func main() {
 	quick := flag.Bool("quick", false, "short measurement windows")
 	seed := flag.Int64("seed", 1999, "simulation seed")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	check := flag.Bool("check", false, "run the invariant checker inside every simulation")
 	flag.Parse()
 	asCSV = *csvOut
 
-	opt := experiments.Options{Seed: *seed}
+	opt := experiments.Options{Seed: *seed, Invariants: *check}
 	if *quick {
 		opt.Warmup = sim.Second
 		opt.Window = 2 * sim.Second
 	}
 
-	ran := 0
+	failed := 0
+	report := func(name string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed++
+		}
+	}
 	if *exp == "all" {
 		for _, r := range runners {
 			if !r.inAll {
 				continue
 			}
 			fmt.Printf("== %s ==\n", r.name)
-			r.run(opt)
+			report(r.name, r.run(opt))
 			fmt.Println()
-			ran++
 		}
 	} else {
 		want := map[string]bool{}
@@ -138,9 +183,8 @@ func main() {
 		}
 		for _, r := range runners {
 			if want[r.name] {
-				r.run(opt)
+				report(r.name, r.run(opt))
 				delete(want, r.name)
-				ran++
 			}
 		}
 		if len(want) > 0 {
@@ -150,5 +194,7 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	_ = ran
+	if failed > 0 {
+		os.Exit(1)
+	}
 }

@@ -45,7 +45,7 @@ func AblatePruning(opt Options) *metrics.Table {
 }
 
 func ablatePruningPoint(implicit, disablePruning bool, floodRate sim.Rate, opt Options) float64 {
-	e := newEnv(kernel.ModeRC, opt.Seed)
+	e := newEnv(kernel.ModeRC, opt)
 	e.k.ImplicitNetBinding = implicit
 	if cs, ok := e.k.Scheduler().(*sched.ContainerScheduler); ok {
 		cs.DisablePruning = disablePruning

@@ -35,7 +35,7 @@ func Apache(opt Options) []*metrics.Series {
 // apachePoint returns T_high for the nice-based process-per-connection
 // configuration with n low-priority clients.
 func apachePoint(n int, opt Options) float64 {
-	e := newEnv(kernel.ModeUnmodified, opt.Seed)
+	e := newEnv(kernel.ModeUnmodified, opt)
 	srv, err := httpsim.NewForkServer(httpsim.Config{
 		Kernel: e.k, Name: "apache", Addr: ServerAddr,
 	}, 16)

@@ -17,7 +17,7 @@ func Baseline(opt Options) *metrics.Table {
 		"HTTP mode", "Throughput (req/s)", "Paper (req/s)", "CPU cost/request (µs)")
 
 	for _, persistent := range []bool{false, true} {
-		e := newEnv(kernel.ModeUnmodified, opt.Seed)
+		e := newEnv(kernel.ModeUnmodified, opt)
 		if _, err := httpsim.NewServer(httpsim.Config{
 			Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.SelectAPI,
 		}); err != nil {
@@ -51,7 +51,7 @@ func Overhead(opt Options) *metrics.Table {
 	t := metrics.NewTable("§5.4 overhead of per-request containers (RC kernel)",
 		"Configuration", "Throughput (req/s)")
 	for _, withContainers := range []bool{false, true} {
-		e := newEnv(kernel.ModeRC, opt.Seed)
+		e := newEnv(kernel.ModeRC, opt)
 		if _, err := httpsim.NewServer(httpsim.Config{
 			Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.SelectAPI,
 			PerConnContainers:      withContainers,

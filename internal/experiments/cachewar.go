@@ -45,7 +45,7 @@ func CacheWar(opt Options) *metrics.Table {
 }
 
 func cacheWarPoint(quota bool, opt Options) (hitPct, bTput, bLatMs, aTput float64) {
-	e := newEnv(kernel.ModeRC, opt.Seed)
+	e := newEnv(kernel.ModeRC, opt)
 	e.k.FileCache().SetCapacity(256 * 1024)
 
 	mkGuest := func(name string, port uint16, cacheQuota int64) (*httpsim.Server, netsim.Addr) {

@@ -37,7 +37,7 @@ func DiskBound(opt Options) []*metrics.Series {
 }
 
 func diskBoundPoint(mode kernel.Mode, n int, opt Options) float64 {
-	e := newEnv(mode, opt.Seed)
+	e := newEnv(mode, opt)
 	srv, err := httpsim.NewServer(httpsim.Config{
 		Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.EventAPI,
 		PerConnContainers: mode == kernel.ModeRC,

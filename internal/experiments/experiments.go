@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"rescon/internal/fault"
 	"rescon/internal/httpsim"
 	"rescon/internal/kernel"
 	"rescon/internal/netsim"
@@ -31,6 +32,12 @@ type Options struct {
 	Seed   int64
 	Warmup sim.Duration
 	Window sim.Duration
+	// Invariants attaches a runtime invariant checker (CPU-charge
+	// conservation, clock monotonicity, queue bounds) to every
+	// simulation the experiment builds; a violation panics with a
+	// diagnostic. On by default in -short test runs; rcbench enables it
+	// with -check.
+	Invariants bool
 }
 
 // Defaults fills in zero fields.
@@ -49,13 +56,20 @@ func (o Options) withDefaults(warmup, window sim.Duration) Options {
 
 // env is one simulated machine plus bookkeeping for a measurement run.
 type env struct {
-	eng *sim.Engine
-	k   *kernel.Kernel
+	eng   *sim.Engine
+	k     *kernel.Kernel
+	check *fault.Checker
 }
 
-func newEnv(mode kernel.Mode, seed int64) *env {
-	eng := sim.NewEngine(seed)
-	return &env{eng: eng, k: kernel.New(eng, mode, kernel.DefaultCosts())}
+func newEnv(mode kernel.Mode, opt Options) *env {
+	eng := sim.NewEngine(opt.Seed)
+	e := &env{eng: eng, k: kernel.New(eng, mode, kernel.DefaultCosts())}
+	if opt.Invariants {
+		e.check = fault.NewChecker(eng)
+		e.k.WatchInvariants(e.check)
+		e.check.Start(0)
+	}
+	return e
 }
 
 // measureRate runs warmup, clears stats, runs the window, and returns the

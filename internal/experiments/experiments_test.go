@@ -12,7 +12,10 @@ import (
 // quick keeps test runtime reasonable; the rcbench binary uses the full
 // windows. The shape assertions below are the per-figure success criteria
 // from DESIGN.md §4.
-var quick = Options{Seed: 1999, Warmup: sim.Second, Window: 2 * sim.Second}
+// quick keeps test runs short; Invariants turns the runtime checker on
+// for every experiment exercised by the suite, so a conservation or
+// queue-bound break fails the tests even when no assertion looks for it.
+var quick = Options{Seed: 1999, Warmup: sim.Second, Window: 2 * sim.Second, Invariants: true}
 
 func yAt(t *testing.T, s *metrics.Series, x float64) float64 {
 	t.Helper()
@@ -24,7 +27,10 @@ func yAt(t *testing.T, s *metrics.Series, x float64) float64 {
 }
 
 func TestTable1PrimitivesAreCheap(t *testing.T) {
-	tab := Table1()
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 7 {
 		t.Fatalf("Table 1 rows: %d, want 7", len(tab.Rows))
 	}
@@ -172,7 +178,10 @@ func TestFig14Shape(t *testing.T) {
 }
 
 func TestVServersIsolation(t *testing.T) {
-	tab := VServers(quick)
+	tab, err := VServers(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 3 {
 		t.Fatalf("rows %d", len(tab.Rows))
 	}

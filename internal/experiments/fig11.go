@@ -66,7 +66,7 @@ func Fig11(opt Options) []*metrics.Series {
 // fig11Point returns the high-priority client's mean response time (ms)
 // with n low-priority clients.
 func fig11Point(sys fig11System, n int, opt Options) float64 {
-	e := newEnv(sys.mode, opt.Seed)
+	e := newEnv(sys.mode, opt)
 	if sys.lottery {
 		if cs, ok := e.k.Scheduler().(*sched.ContainerScheduler); ok {
 			cs.SetLeafPolicy(sched.PolicyLottery, opt.Seed)

@@ -60,7 +60,7 @@ func Fig12(opt Options) *Fig12Result {
 // fig12Point returns (static throughput req/s, CGI CPU share %) with n
 // concurrent CGI requests under the given system.
 func fig12Point(sys fig12System, n int, opt Options) (float64, float64) {
-	e := newEnv(sys.mode, opt.Seed)
+	e := newEnv(sys.mode, opt)
 	cfg := httpsim.Config{
 		Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.SelectAPI,
 	}

@@ -63,7 +63,7 @@ func fig14Run(systems []fig14System, rates []float64, opt Options) []*metrics.Se
 // fig14Point returns good-client throughput (req/s) under a SYN flood of
 // the given rate.
 func fig14Point(sys fig14System, rate sim.Rate, opt Options) float64 {
-	e := newEnv(sys.mode, opt.Seed)
+	e := newEnv(sys.mode, opt)
 	srv, err := httpsim.NewServer(httpsim.Config{
 		Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.EventAPI,
 		PerConnContainers: sys.mode == kernel.ModeRC,

@@ -33,7 +33,7 @@ func Overload(opt Options) []*metrics.Series {
 }
 
 func overloadPoint(mode kernel.Mode, offered sim.Rate, opt Options) float64 {
-	e := newEnv(mode, opt.Seed)
+	e := newEnv(mode, opt)
 	_, err := httpsim.NewServer(httpsim.Config{
 		Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: httpsim.SelectAPI,
 		PerConnContainers: mode == kernel.ModeRC,

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"rescon/internal/fault"
+)
+
+// TestResiliencePolicingBeatsUnpolicedUnderLoss is the headline acceptance
+// criterion: with the server oversubscribed by a SYN flood, per-container
+// backlog policing must deliver measurably higher goodput than FIFO drops
+// at 10% and 20% wire packet loss.
+func TestResiliencePolicingBeatsUnpolicedUnderLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resilience sweep is slow")
+	}
+	for _, tc := range []struct {
+		loss   float64
+		margin float64
+	}{
+		{0.10, 1.15},
+		{0.20, 1.05},
+	} {
+		policed, err := resiliencePoint(quick, tc.loss, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unpoliced, err := resiliencePoint(quick, tc.loss, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if policed < unpoliced*tc.margin {
+			t.Errorf("loss %.0f%%: policed %.1f req/s vs unpoliced %.1f, want ≥ %.2f× advantage",
+				tc.loss*100, policed, unpoliced, tc.margin)
+		}
+	}
+}
+
+func TestResilienceCurvesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resilience sweep is slow")
+	}
+	series, err := ResilienceCurves(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].Name != "RC policed" || series[1].Name != "RC unpoliced" {
+		t.Fatalf("unexpected series: %v", series)
+	}
+	for _, s := range series {
+		if len(s.Points) != len(ResilienceLossPoints) {
+			t.Fatalf("%s has %d points, want %d", s.Name, len(s.Points), len(ResilienceLossPoints))
+		}
+		// Degradation curve: goodput at the highest loss must be below
+		// the lossless point, and everything must stay positive
+		// (degraded, not dead).
+		first := s.Points[0].Y
+		last := s.Points[len(s.Points)-1].Y
+		if last <= 0 || first <= 0 {
+			t.Fatalf("%s has non-positive goodput: first=%.1f last=%.1f", s.Name, first, last)
+		}
+		if last >= first {
+			t.Fatalf("%s does not degrade with loss: first=%.1f last=%.1f", s.Name, first, last)
+		}
+	}
+}
+
+// TestFaultScenarioDeterminism re-runs one injected-fault scenario and
+// requires every output column — including the fault-count detail string —
+// to match exactly.
+func TestFaultScenarioDeterminism(t *testing.T) {
+	cfg := fault.Config{DropRate: 0.10, DupRate: 0.05, ReorderRate: 0.05, DelayRate: 0.10}
+	a, err := faultScenario(quick, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := faultScenario(quick, cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical seeds diverged:\n%+v\n%+v", a, b)
+	}
+	if a.detail == (fault.Stats{}).String() {
+		t.Fatalf("no faults recorded in detail: %q", a.detail)
+	}
+}
+
+func TestCrashScenarioDeterminism(t *testing.T) {
+	a, err := crashScenario(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := crashScenario(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical seeds diverged:\n%+v\n%+v", a, b)
+	}
+	if a.detail == "crashes=0 restarts=0" {
+		t.Fatal("no crashes landed inside the run")
+	}
+	if a.goodput <= 0 {
+		t.Fatal("crash-restart run completed nothing")
+	}
+}
+
+func TestFaultMatrixRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault matrix is slow")
+	}
+	tbl, err := FaultMatrix(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("fault matrix has %d rows, want 5", len(tbl.Rows))
+	}
+	baseline, err := strconv.ParseFloat(tbl.Rows[0][1], 64)
+	if err != nil || baseline <= 0 {
+		t.Fatalf("bad baseline goodput cell: %q", tbl.Rows[0][1])
+	}
+	for _, row := range tbl.Rows[1:] {
+		g, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("bad goodput cell in %v: %v", row[0], err)
+		}
+		if g <= 0 {
+			t.Fatalf("scenario %v died completely (goodput %v) — degraded, not dead, is the goal", row[0], g)
+		}
+		if g >= baseline {
+			t.Fatalf("scenario %v (%.1f req/s) not degraded vs baseline %.1f", row[0], g, baseline)
+		}
+	}
+}

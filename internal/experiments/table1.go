@@ -16,7 +16,7 @@ import (
 // Go vs. kernel C); the paper's claim to verify is that every primitive
 // costs far less than one HTTP transaction (338 µs there; the simulated
 // per-request budget here).
-func Table1() *metrics.Table {
+func Table1() (*metrics.Table, error) {
 	const iters = 100_000
 
 	eng := sim.NewEngine(1)
@@ -33,7 +33,7 @@ func Table1() *metrics.Table {
 	for i := 0; i < iters; i++ {
 		d, err := p.CreateContainer(kernel.NoParent, rc.TimeShare, "c", attrs)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		descs[i] = d
 	}
@@ -48,7 +48,7 @@ func Table1() *metrics.Table {
 			d = b
 		}
 		if err := p.BindThread(th, d); err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
 	rebindNs := perOp(start, iters)
@@ -60,7 +60,7 @@ func Table1() *metrics.Table {
 		var err error
 		u, err = p.ContainerUsage(a)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
 	usageNs := perOp(start, iters)
@@ -71,10 +71,10 @@ func Table1() *metrics.Table {
 	for i := 0; i < iters; i++ {
 		got, err := p.ContainerAttrs(a)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		if err := p.SetContainerAttrs(a, got); err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
 	attrNs := perOp(start, iters) / 2 // two ops per iteration
@@ -83,7 +83,7 @@ func Table1() *metrics.Table {
 	start = time.Now()
 	for i := 0; i < iters; i++ {
 		if _, err := p.MoveContainer(a, p2); err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
 	moveNs := perOp(start, iters)
@@ -91,12 +91,12 @@ func Table1() *metrics.Table {
 	// obtain handle for existing container
 	cont, err := p.Lookup(a)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	start = time.Now()
 	for i := 0; i < iters; i++ {
 		if _, err := p.ContainerHandle(cont); err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
 	handleNs := perOp(start, iters)
@@ -105,7 +105,7 @@ func Table1() *metrics.Table {
 	start = time.Now()
 	for i := 2; i < iters; i++ {
 		if err := p.ReleaseContainer(descs[i]); err != nil {
-			panic(err)
+			return nil, err
 		}
 	}
 	destroyNs := perOp(start, iters-2)
@@ -120,7 +120,7 @@ func Table1() *metrics.Table {
 	t.AddRow("set/get container attributes", attrNs, 2.10)
 	t.AddRow("move container between processes", moveNs, 3.15)
 	t.AddRow("obtain handle for existing container", handleNs, 1.90)
-	return t
+	return t, nil
 }
 
 func perOp(start time.Time, n int) float64 {

@@ -30,7 +30,7 @@ func TailLatency(opt Options) *metrics.Table {
 // tailPoint runs one fig11-style configuration and returns the premium
 // client's latency summary.
 func tailPoint(sys fig11System, n int, opt Options) *metrics.Summary {
-	e := newEnv(sys.mode, opt.Seed)
+	e := newEnv(sys.mode, opt)
 	srv, err := httpsim.NewServer(httpsim.Config{
 		Kernel: e.k, Name: "httpd", Addr: ServerAddr, API: sys.api,
 		PerConnContainers: sys.containers,

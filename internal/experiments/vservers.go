@@ -20,9 +20,9 @@ var GuestShares = []float64{0.50, 0.30, 0.20}
 // top-level fixed-share container, serve mixed static+CGI load; the CPU
 // each guest consumes must match its allocation, even though each guest
 // comprises several processes and a varying number of activities.
-func VServers(opt Options) *metrics.Table {
+func VServers(opt Options) (*metrics.Table, error) {
 	opt = opt.withDefaults(5*sim.Second, 30*sim.Second)
-	e := newEnv(kernel.ModeRC, opt.Seed)
+	e := newEnv(kernel.ModeRC, opt)
 
 	type guest struct {
 		root *rc.Container
@@ -44,13 +44,13 @@ func VServers(opt Options) *metrics.Table {
 			CGIParent:         cgiParent,
 		})
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		// The guest's own process (and its kernel network thread) must
 		// live inside the guest's subtree, or its consumption would
 		// escape the sandbox.
 		if err := srv.Process().DefaultContainer.SetParent(root); err != nil {
-			panic(err)
+			return nil, err
 		}
 		// Saturating load: static clients plus a CGI client per guest.
 		pop := workload.StartPopulation(16, workload.ClientConfig{
@@ -85,5 +85,5 @@ func VServers(opt Options) *metrics.Table {
 		used := float64(g.root.Usage().CPU()-before[i]) / float64(elapsed) * 100
 		t.AddRow(fmt.Sprintf("guest-%d", i+1), GuestShares[i]*100, used, g.pop.Rate(e.eng.Now()))
 	}
-	return t
+	return t, nil
 }

@@ -1,0 +1,192 @@
+package fault
+
+import (
+	"fmt"
+
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+)
+
+// QueueState is one bounded queue's instantaneous state, reported by a
+// queue source. Bound <= 0 means the queue is unbounded and only
+// non-negativity is checked.
+type QueueState struct {
+	Name  string
+	Len   int
+	Bound int
+}
+
+// Checker is a runtime invariant checker for fault-injection runs: it
+// verifies that the simulation's accounting stays consistent while faults
+// push the system into rarely exercised paths. Experiments enable it to
+// fail fast on drift instead of silently producing wrong curves.
+//
+// Invariants checked:
+//
+//  1. Virtual-clock monotonicity: the engine's clock and fired-event
+//     count never move backwards between checks (event-heap ordering).
+//  2. CPU-charge conservation: charges propagate from a container to all
+//     ancestors, so within every watched hierarchy each parent's CPU
+//     usage must be at least the sum of its children's. (Reparenting a
+//     container after it has been charged breaks this bookkeeping; watch
+//     hierarchies only where reparenting happens before work starts, as
+//     the experiments do.)
+//  3. Non-negative usage: CPU and memory charged to any watched
+//     container never go negative.
+//  4. Queue bounds: every watched bounded queue's length stays within
+//     its bound (sources add slack where PushFront's documented
+//     capacity bypass applies).
+type Checker struct {
+	eng *sim.Engine
+
+	// FailFast makes a violation panic immediately with the violation
+	// text, which fails the enclosing test or experiment on the exact
+	// event that corrupted state. Default true.
+	FailFast bool
+
+	contSrcs  []func() []*rc.Container
+	queueSrcs []func() []QueueState
+
+	lastNow   sim.Time
+	lastFired uint64
+
+	checks     uint64
+	violations []string
+	ticker     *sim.Ticker
+}
+
+// NewChecker returns a fail-fast checker bound to the engine.
+func NewChecker(eng *sim.Engine) *Checker {
+	return &Checker{eng: eng, FailFast: true, lastNow: eng.Now(), lastFired: eng.Fired()}
+}
+
+// WatchContainers adds fixed container hierarchies to the watch set. Each
+// container's root subtree is checked, so passing any member of a
+// hierarchy watches the whole tree.
+func (ch *Checker) WatchContainers(cs ...*rc.Container) {
+	fixed := append([]*rc.Container(nil), cs...)
+	ch.WatchContainerSource(func() []*rc.Container { return fixed })
+}
+
+// WatchContainerSource adds a dynamic container source, re-evaluated at
+// every check — use it for hierarchies that appear during the run (e.g.
+// per-connection containers under a kernel's processes).
+func (ch *Checker) WatchContainerSource(fn func() []*rc.Container) {
+	ch.contSrcs = append(ch.contSrcs, fn)
+}
+
+// WatchQueue adds one bounded queue with a fixed bound (<= 0 checks only
+// non-negativity).
+func (ch *Checker) WatchQueue(name string, length func() int, bound int) {
+	ch.WatchQueueSource(func() []QueueState {
+		return []QueueState{{Name: name, Len: length(), Bound: bound}}
+	})
+}
+
+// WatchQueueSource adds a dynamic queue source, re-evaluated every check.
+func (ch *Checker) WatchQueueSource(fn func() []QueueState) {
+	ch.queueSrcs = append(ch.queueSrcs, fn)
+}
+
+// Start checks periodically until Stop. A period of 0 defaults to 10 ms
+// of virtual time — fine enough to localize drift, coarse enough to be
+// cheap.
+func (ch *Checker) Start(period sim.Duration) {
+	if period <= 0 {
+		period = 10 * sim.Millisecond
+	}
+	ch.Stop()
+	ch.ticker = ch.eng.Every(period, ch.Check)
+}
+
+// Stop cancels periodic checking.
+func (ch *Checker) Stop() {
+	if ch.ticker != nil {
+		ch.ticker.Stop()
+		ch.ticker = nil
+	}
+}
+
+// Checks returns how many times Check has run.
+func (ch *Checker) Checks() uint64 { return ch.checks }
+
+// Violations returns the violations recorded so far (only reachable with
+// FailFast disabled).
+func (ch *Checker) Violations() []string { return ch.violations }
+
+func (ch *Checker) violate(format string, args ...any) {
+	v := fmt.Sprintf("fault: invariant violated at %v: %s", ch.eng.Now(), fmt.Sprintf(format, args...))
+	if ch.FailFast {
+		panic(v)
+	}
+	ch.violations = append(ch.violations, v)
+}
+
+// Check runs every invariant once, against the current state.
+func (ch *Checker) Check() {
+	ch.checks++
+
+	// 1. Clock monotonicity.
+	if now := ch.eng.Now(); now < ch.lastNow {
+		ch.violate("clock moved backwards: %v -> %v", ch.lastNow, now)
+	} else {
+		ch.lastNow = now
+	}
+	if fired := ch.eng.Fired(); fired < ch.lastFired {
+		ch.violate("fired-event count decreased: %d -> %d", ch.lastFired, fired)
+	} else {
+		ch.lastFired = fired
+	}
+
+	// 2 & 3. Container hierarchy accounting. Roots are deduped so shared
+	// hierarchies are walked once per check.
+	seen := make(map[*rc.Container]bool)
+	for _, src := range ch.contSrcs {
+		for _, c := range src() {
+			if c == nil || c.Destroyed() {
+				continue
+			}
+			root := c.Root()
+			if seen[root] {
+				continue
+			}
+			seen[root] = true
+			ch.checkSubtree(root)
+		}
+	}
+
+	// 4. Queue bounds.
+	for _, src := range ch.queueSrcs {
+		for _, q := range src() {
+			if q.Len < 0 {
+				ch.violate("queue %q has negative length %d", q.Name, q.Len)
+			}
+			if q.Bound > 0 && q.Len > q.Bound {
+				ch.violate("queue %q over bound: %d > %d", q.Name, q.Len, q.Bound)
+			}
+		}
+	}
+}
+
+func (ch *Checker) checkSubtree(c *rc.Container) {
+	u := c.Usage()
+	if u.CPUUser < 0 || u.CPUKernel < 0 {
+		ch.violate("container %v has negative CPU usage (user=%v kernel=%v)", c, u.CPUUser, u.CPUKernel)
+	}
+	if u.Memory < 0 {
+		ch.violate("container %v has negative memory %d", c, u.Memory)
+	}
+	kids := c.Children()
+	if len(kids) > 0 {
+		var kidCPU sim.Duration
+		for _, k := range kids {
+			kidCPU += k.Usage().CPU()
+		}
+		if own := u.CPU(); own < kidCPU {
+			ch.violate("CPU conservation broken at %v: parent %v < children sum %v", c, own, kidCPU)
+		}
+	}
+	for _, k := range kids {
+		ch.checkSubtree(k)
+	}
+}

@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+)
+
+func TestCheckerCleanRun(t *testing.T) {
+	eng := sim.NewEngine(1)
+	root := rc.MustNew(nil, rc.FixedShare, "root", rc.Attributes{})
+	kid := rc.MustNew(root, rc.TimeShare, "kid", rc.Attributes{Priority: 1})
+
+	ch := NewChecker(eng)
+	ch.WatchContainers(kid) // any member watches the whole tree
+	ch.Start(sim.Millisecond)
+
+	eng.Every(sim.Millisecond/2, func() {
+		kid.ChargeCPU(rc.UserCPU, 10*sim.Microsecond)
+	})
+	eng.RunUntil(sim.Time(0).Add(100 * sim.Millisecond))
+
+	if ch.Checks() == 0 {
+		t.Fatal("checker never ran")
+	}
+	if v := ch.Violations(); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestCheckerCatchesQueueOverBound(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ch := NewChecker(eng)
+	ch.FailFast = false
+	length := 0
+	ch.WatchQueue("q", func() int { return length }, 4)
+
+	ch.Check()
+	if len(ch.Violations()) != 0 {
+		t.Fatalf("violations on empty queue: %v", ch.Violations())
+	}
+	length = 5
+	ch.Check()
+	if len(ch.Violations()) != 1 || !strings.Contains(ch.Violations()[0], "over bound") {
+		t.Fatalf("want one over-bound violation, got %v", ch.Violations())
+	}
+	length = -1
+	ch.Check()
+	if len(ch.Violations()) != 2 || !strings.Contains(ch.Violations()[1], "negative length") {
+		t.Fatalf("want negative-length violation, got %v", ch.Violations())
+	}
+}
+
+func TestCheckerCatchesConservationBreak(t *testing.T) {
+	eng := sim.NewEngine(1)
+	// Charge a child under one root, then reparent it under a fresh root:
+	// the new parent never received the propagated charge, so parent CPU <
+	// sum of children — exactly the drift the checker exists to catch.
+	oldRoot := rc.MustNew(nil, rc.FixedShare, "old", rc.Attributes{})
+	kid := rc.MustNew(oldRoot, rc.TimeShare, "kid", rc.Attributes{Priority: 1})
+	kid.ChargeCPU(rc.KernelCPU, sim.Millisecond)
+	newRoot := rc.MustNew(nil, rc.FixedShare, "new", rc.Attributes{})
+	if err := kid.SetParent(newRoot); err != nil {
+		t.Fatal(err)
+	}
+
+	ch := NewChecker(eng)
+	ch.FailFast = false
+	ch.WatchContainers(newRoot)
+	ch.Check()
+	found := false
+	for _, v := range ch.Violations() {
+		if strings.Contains(v, "CPU conservation broken") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("conservation break not detected: %v", ch.Violations())
+	}
+}
+
+func TestCheckerFailFastPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ch := NewChecker(eng)
+	ch.WatchQueue("q", func() int { return 10 }, 4)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("FailFast violation did not panic")
+		}
+	}()
+	ch.Check()
+}
+
+func TestCheckerSkipsDestroyedAndDedupsRoots(t *testing.T) {
+	eng := sim.NewEngine(1)
+	root := rc.MustNew(nil, rc.FixedShare, "root", rc.Attributes{})
+	a := rc.MustNew(root, rc.TimeShare, "a", rc.Attributes{Priority: 1})
+	b := rc.MustNew(root, rc.TimeShare, "b", rc.Attributes{Priority: 1})
+	dead := rc.MustNew(nil, rc.TimeShare, "dead", rc.Attributes{Priority: 1})
+	if err := dead.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	ch := NewChecker(eng)
+	ch.FailFast = false
+	ch.WatchContainers(a, b, dead, nil)
+	ch.Check()
+	if len(ch.Violations()) != 0 {
+		t.Fatalf("violations: %v", ch.Violations())
+	}
+}
+
+func TestCheckerStartStop(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ch := NewChecker(eng)
+	ch.Start(0) // default period
+	eng.RunUntil(sim.Time(0).Add(55 * sim.Millisecond))
+	n := ch.Checks()
+	if n == 0 {
+		t.Fatal("periodic checker never fired")
+	}
+	ch.Stop()
+	eng.RunUntil(sim.Time(0).Add(200 * sim.Millisecond))
+	if ch.Checks() != n {
+		t.Fatalf("checker fired after Stop: %d -> %d", n, ch.Checks())
+	}
+}
+
+func TestCrasherSchedule(t *testing.T) {
+	run := func() (uint64, uint64, []sim.Time) {
+		eng := sim.NewEngine(13)
+		var crashTimes []sim.Time
+		var up, down int
+		cr := StartCrasher(eng, CrashPlan{MTBF: 200 * sim.Millisecond, Downtime: 50 * sim.Millisecond},
+			func() { down++; crashTimes = append(crashTimes, eng.Now()) },
+			func() { up++ },
+		)
+		eng.RunUntil(sim.Time(0).Add(3 * sim.Second))
+		if down != int(cr.Crashes()) || up != int(cr.Restarts()) {
+			t.Fatalf("callback counts diverge from Crasher counters")
+		}
+		return cr.Crashes(), cr.Restarts(), crashTimes
+	}
+	c1, r1, t1 := run()
+	c2, r2, t2 := run()
+	if c1 == 0 {
+		t.Fatal("no crashes in 3s with 200ms MTBF")
+	}
+	if r1 > c1 || c1-r1 > 1 {
+		t.Fatalf("restarts %d inconsistent with crashes %d", r1, c1)
+	}
+	if c1 != c2 || r1 != r2 {
+		t.Fatalf("crash schedule not deterministic: (%d,%d) vs (%d,%d)", c1, r1, c2, r2)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("crash %d at %v vs %v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestCrasherStop(t *testing.T) {
+	eng := sim.NewEngine(13)
+	cr := StartCrasher(eng, CrashPlan{MTBF: 100 * sim.Millisecond}, func() {}, func() {})
+	eng.RunUntil(sim.Time(0).Add(time500ms))
+	cr.Stop()
+	n := cr.Crashes()
+	eng.RunUntil(sim.Time(0).Add(5 * sim.Second))
+	if cr.Crashes() != n {
+		t.Fatalf("crashes after Stop: %d -> %d", n, cr.Crashes())
+	}
+}
+
+const time500ms = 500 * sim.Millisecond
+
+func TestCrasherRequiresMTBF(t *testing.T) {
+	eng := sim.NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero MTBF did not panic")
+		}
+	}()
+	StartCrasher(eng, CrashPlan{}, func() {}, func() {})
+}

@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"testing"
+
+	"rescon/internal/netsim"
+	"rescon/internal/sim"
+)
+
+func testPacket() *netsim.Packet {
+	return &netsim.Packet{Kind: netsim.Data, Size: 512}
+}
+
+// collectFates draws n wire fates and returns them flattened alongside
+// the final stats.
+func collectFates(seed int64, cfg Config, n int) ([][]sim.Duration, Stats) {
+	eng := sim.NewEngine(seed)
+	inj := NewInjector(eng, cfg)
+	out := make([][]sim.Duration, n)
+	for i := range out {
+		out[i] = inj.WireFate(testPacket())
+	}
+	return out, inj.Stats()
+}
+
+func TestWireFateCleanByDefault(t *testing.T) {
+	fates, stats := collectFates(1, Config{}, 1000)
+	for i, f := range fates {
+		if len(f) != 1 || f[0] != 0 {
+			t.Fatalf("fate %d = %v, want clean delivery {0}", i, f)
+		}
+	}
+	if stats != (Stats{}) {
+		t.Fatalf("stats = %+v, want zero", stats)
+	}
+}
+
+func TestWireFateDropAll(t *testing.T) {
+	fates, stats := collectFates(1, Config{DropRate: 1}, 100)
+	for i, f := range fates {
+		if f != nil {
+			t.Fatalf("fate %d = %v, want lost (nil)", i, f)
+		}
+	}
+	if stats.WireDrops != 100 {
+		t.Fatalf("drops = %d, want 100", stats.WireDrops)
+	}
+}
+
+func TestWireFateDuplicates(t *testing.T) {
+	fates, stats := collectFates(1, Config{DupRate: 1}, 50)
+	for i, f := range fates {
+		if len(f) != 2 {
+			t.Fatalf("fate %d = %v, want two deliveries", i, f)
+		}
+		if f[1]-f[0] != 100*sim.Microsecond {
+			t.Fatalf("fate %d duplicate spacing = %v, want default 100µs", i, f[1]-f[0])
+		}
+	}
+	if stats.WireDups != 50 {
+		t.Fatalf("dups = %d, want 50", stats.WireDups)
+	}
+}
+
+func TestWireFateDelayBounded(t *testing.T) {
+	cfg := Config{DelayRate: 1, DelayMax: 2 * sim.Millisecond}
+	fates, stats := collectFates(3, cfg, 200)
+	for i, f := range fates {
+		if len(f) != 1 {
+			t.Fatalf("fate %d = %v, want one delivery", i, f)
+		}
+		if f[0] <= 0 || f[0] > 2*sim.Millisecond {
+			t.Fatalf("fate %d delay = %v, want in (0, 2ms]", i, f[0])
+		}
+	}
+	if stats.WireDelays != 200 {
+		t.Fatalf("delays = %d, want 200", stats.WireDelays)
+	}
+}
+
+func TestWireFateReorderHoldsPacket(t *testing.T) {
+	cfg := Config{ReorderRate: 1}
+	fates, _ := collectFates(5, cfg, 10)
+	for i, f := range fates {
+		if len(f) != 1 || f[0] != 200*sim.Microsecond {
+			t.Fatalf("fate %d = %v, want held by default 200µs", i, f)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	cfg := Config{DropRate: 0.2, DupRate: 0.1, ReorderRate: 0.1, DelayRate: 0.3}
+	a, sa := collectFates(42, cfg, 5000)
+	b, sb := collectFates(42, cfg, 5000)
+	if sa != sb {
+		t.Fatalf("stats differ across identical runs:\n%v\n%v", sa, sb)
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("fate %d differs: %v vs %v", i, a[i], b[i])
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("fate %d differs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestClassIndependence is the stream-stability property: enabling the
+// disk fault class must not perturb the wire-fault schedule, because each
+// class draws from its own forked stream.
+func TestClassIndependence(t *testing.T) {
+	wire := Config{DropRate: 0.2, DupRate: 0.1, DelayRate: 0.3}
+	both := wire
+	both.DiskErrorRate = 0.5
+	both.DiskSlowRate = 0.3
+
+	eng1 := sim.NewEngine(7)
+	eng2 := sim.NewEngine(7)
+	i1 := NewInjector(eng1, wire)
+	i2 := NewInjector(eng2, both)
+	for n := 0; n < 2000; n++ {
+		a := i1.WireFate(testPacket())
+		b := i2.WireFate(testPacket())
+		if len(a) != len(b) {
+			t.Fatalf("packet %d: wire fate changed when disk faults enabled: %v vs %v", n, a, b)
+		}
+		// Interleave disk draws on the second injector to stress stream
+		// separation.
+		i2.DiskFate(4096)
+	}
+	s1, s2 := i1.Stats(), i2.Stats()
+	if s1.WireDrops != s2.WireDrops || s1.WireDups != s2.WireDups || s1.WireDelays != s2.WireDelays {
+		t.Fatalf("wire stats perturbed by disk class: %v vs %v", s1, s2)
+	}
+}
+
+func TestDiskFateDeterminism(t *testing.T) {
+	cfg := Config{DiskErrorRate: 0.1, DiskSlowRate: 0.2, DiskSlowMax: 10 * sim.Millisecond}
+	run := func() (uint64, uint64, sim.Duration) {
+		eng := sim.NewEngine(99)
+		inj := NewInjector(eng, cfg)
+		var total sim.Duration
+		for i := 0; i < 3000; i++ {
+			fail, extra := inj.DiskFate(8192)
+			if fail && extra != 0 {
+				t.Fatal("failed read must not also carry a latency spike")
+			}
+			if extra < 0 || extra > 10*sim.Millisecond {
+				t.Fatalf("spike %v out of range", extra)
+			}
+			total += extra
+		}
+		s := inj.Stats()
+		return s.DiskErrors, s.DiskSlows, total
+	}
+	e1, s1, t1 := run()
+	e2, s2, t2 := run()
+	if e1 != e2 || s1 != s2 || t1 != t2 {
+		t.Fatalf("disk schedule not deterministic: (%d,%d,%v) vs (%d,%d,%v)", e1, s1, t1, e2, s2, t2)
+	}
+	if e1 == 0 || s1 == 0 {
+		t.Fatalf("expected both fault kinds to fire: errors=%d slows=%d", e1, s1)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{WireDrops: 1, DiskErrors: 2}
+	got := s.String()
+	if got != "drops=1 dups=0 reorders=0 delays=0 diskErr=2 diskSlow=0" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.DupDelay != 100*sim.Microsecond || c.ReorderDelay != 200*sim.Microsecond ||
+		c.DelayMax != sim.Millisecond || c.DiskSlowMax != 50*sim.Millisecond {
+		t.Fatalf("defaults = %+v", c)
+	}
+}

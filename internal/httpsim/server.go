@@ -7,6 +7,7 @@ import (
 	"rescon/internal/netsim"
 	"rescon/internal/rc"
 	"rescon/internal/sim"
+	"rescon/internal/trace"
 )
 
 // API selects the event-notification interface the server uses (§5.5).
@@ -89,12 +90,17 @@ type Server struct {
 	nextSeq   uint64
 	openConns int
 	busy      bool
+	down      bool
+	listeners []*kernel.ListenSocket
 	fcgi      *FastCGIPool
 
 	// Stats
 	StaticServed uint64
 	CGIServed    uint64
 	CGIActive    int
+	// DiskErrors counts requests shed because an injected disk media
+	// error made the response impossible.
+	DiskErrors uint64
 	cgiLive      map[*kernel.Process]bool
 	cgiCPUDone   sim.Duration
 }
@@ -136,7 +142,7 @@ func (s *Server) AddListener(filter netsim.Filter, cont *rc.Container) (*kernel.
 }
 
 func (s *Server) listen(addr netsim.Addr, filter netsim.Filter, cont *rc.Container, backlog int) (*kernel.ListenSocket, error) {
-	return s.k.Listen(s.proc, kernel.ListenConfig{
+	ls, err := s.k.Listen(s.proc, kernel.ListenConfig{
 		Local:         addr,
 		Filter:        filter,
 		Container:     cont,
@@ -144,11 +150,42 @@ func (s *Server) listen(addr netsim.Addr, filter netsim.Filter, cont *rc.Contain
 		OnAcceptable:  func(ls *kernel.ListenSocket) { s.post(&event{ls: ls, fd: 0}) },
 		OnSynDrop:     s.cfg.OnSynDrop,
 	})
+	if err != nil {
+		return nil, err
+	}
+	s.listeners = append(s.listeners, ls)
+	return ls, nil
 }
+
+// Shutdown crash-stops the server worker: every listening socket is
+// unbound (subsequent SYNs go unanswered), every open connection is torn
+// down (in-flight requests die and their clients time out), and the
+// process exits. It models the abrupt death of a worker for the
+// resilience experiments — pair it with fault.StartCrasher and recover
+// by constructing a fresh server. Down servers ignore further events.
+func (s *Server) Shutdown() {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.k.Tracer.Emit(s.k.Now(), trace.KindCrash, "server %s crash-stopped", s.cfg.Name)
+	for _, ls := range s.listeners {
+		ls.Close()
+	}
+	s.k.CloseConnsOf(s.proc)
+	s.pending = nil
+	s.proc.Exit()
+}
+
+// Down reports whether the server has been crash-stopped.
+func (s *Server) Down() bool { return s.down }
 
 // post records a pending application event and starts the main loop if it
 // is idle.
 func (s *Server) post(ev *event) {
+	if s.down {
+		return
+	}
 	ev.seq = s.nextSeq
 	s.nextSeq++
 	s.pending = append(s.pending, ev)
@@ -391,10 +428,16 @@ func (s *Server) handleStatic(conn *kernel.Conn, req *Request, next func()) {
 		// with other CPU work; the disk time is charged to the
 		// connection's container (§4.4). The event loop moves on and the
 		// response is sent when the read completes.
-		ok := s.k.Disk().Read(conn.Container(), req.Size, func() {
+		ok := s.k.Disk().ReadWithError(conn.Container(), req.Size, func() {
 			if !conn.Closed() {
 				finish()
 			}
+		}, func() {
+			// Injected media error: the response cannot be produced, so
+			// shed the request now instead of leaving the client to time
+			// out against a silent server.
+			s.DiskErrors++
+			s.closeConn(conn)
 		})
 		if !ok {
 			// Disk queue overflow: the request is dropped (the client

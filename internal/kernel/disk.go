@@ -26,20 +26,34 @@ type Disk struct {
 	SeekTime sim.Duration
 	PerKB    sim.Duration
 
+	// Faults, when set, injects media errors and latency spikes into
+	// reads (fault.Injector satisfies this structurally). The fate of a
+	// request is drawn when the head reaches it, in service order, so the
+	// schedule is deterministic.
+	Faults DiskFaults
+
 	queue    []*diskReq
 	nextSeq  uint64
 	busy     bool
 	busyTime sim.Duration
 	served   uint64
+	errors   uint64
 	// per-container weighted service for fair ordering (mirrors the
 	// network pktQueue discipline).
 	serviceTab map[*rc.Container]float64
+}
+
+// DiskFaults decides the fate of each disk read: a media error (the data
+// never arrives; the seek time is still paid) or an extra latency spike.
+type DiskFaults interface {
+	DiskFate(bytes int) (fail bool, extra sim.Duration)
 }
 
 type diskReq struct {
 	container *rc.Container
 	bytes     int
 	onDone    func()
+	onErr     func()
 	seq       uint64
 }
 
@@ -62,13 +76,25 @@ func (d *Disk) BusyTime() sim.Duration { return d.busyTime }
 // Served returns the number of completed requests.
 func (d *Disk) Served() uint64 { return d.served }
 
+// Errors returns the number of reads failed by injected media errors.
+func (d *Disk) Errors() uint64 { return d.errors }
+
 // QueueLen returns the number of pending requests.
 func (d *Disk) QueueLen() int { return len(d.queue) }
 
 // Read schedules a disk read of the given size on behalf of c (nil
 // outside ModeRC); onDone fires when the data is in memory. Reads beyond
 // the queue limit are rejected (onDone never fires) and reported false.
+// A read failed by an injected media error also never calls onDone; use
+// ReadWithError to observe failures.
 func (d *Disk) Read(c *rc.Container, bytes int, onDone func()) bool {
+	return d.ReadWithError(c, bytes, onDone, nil)
+}
+
+// ReadWithError is Read with an error path: onErr fires instead of onDone
+// when the read fails with an injected media error, so callers can shed
+// the request instead of leaving the client to time out.
+func (d *Disk) ReadWithError(c *rc.Container, bytes int, onDone, onErr func()) bool {
 	if len(d.queue) >= DefaultDiskQueueLimit {
 		if c != nil {
 			c.ChargeDrop()
@@ -76,7 +102,7 @@ func (d *Disk) Read(c *rc.Container, bytes int, onDone func()) bool {
 		return false
 	}
 	d.nextSeq++
-	d.queue = append(d.queue, &diskReq{container: c, bytes: bytes, onDone: onDone, seq: d.nextSeq})
+	d.queue = append(d.queue, &diskReq{container: c, bytes: bytes, onDone: onDone, onErr: onErr, seq: d.nextSeq})
 	d.start()
 	return true
 }
@@ -89,18 +115,45 @@ func (d *Disk) start() {
 	req := d.pick()
 	d.busy = true
 	cost := d.SeekTime + sim.Duration(req.bytes)*d.PerKB/1024
+	failed := false
+	if d.Faults != nil {
+		fail, extra := d.Faults.DiskFate(req.bytes)
+		if fail {
+			// A media error surfaces after the head has moved: the seek is
+			// paid, the transfer never happens.
+			failed = true
+			cost = d.SeekTime
+			d.k.Tracer.Emit(d.k.Now(), trace.KindFault, "disk read error %dB for %v", req.bytes, req.container)
+		} else if extra > 0 {
+			cost += extra
+			d.k.Tracer.Emit(d.k.Now(), trace.KindFault, "disk latency spike +%v for %v", extra, req.container)
+		}
+	}
 	d.k.Tracer.Emit(d.k.Now(), trace.KindDispatch, "disk read %dB for %v (%v)", req.bytes, req.container, cost)
 	d.k.eng.After(cost, func() {
 		d.busy = false
 		d.busyTime += cost
-		d.served++
 		if req.container != nil {
-			req.container.ChargeDiskRead(req.bytes, cost)
+			// A failed read still occupied the device: charge the time (with
+			// no bytes transferred) so device occupancy stays conserved.
+			bytes := req.bytes
+			if failed {
+				bytes = 0
+			}
+			req.container.ChargeDiskRead(bytes, cost)
 			w := req.container.QoSWeight()
 			d.serviceTab[req.container] += float64(cost) / w
 		}
-		if req.onDone != nil {
-			req.onDone()
+		if failed {
+			d.errors++
+			if req.onErr != nil {
+				req.onErr()
+			}
+		} else {
+			d.served++
+			if req.onDone != nil {
+				req.onDone()
+			}
 		}
 		d.start()
 	})

@@ -1,0 +1,49 @@
+package kernel
+
+import (
+	"fmt"
+
+	"rescon/internal/fault"
+	"rescon/internal/rc"
+)
+
+// WatchInvariants registers the kernel's live state with the runtime
+// invariant checker: the container hierarchies reachable from every
+// process's default container (for the CPU-conservation and
+// non-negativity checks) and the bounded per-container protocol queues
+// (for the queue-bound check). The sources are re-evaluated at every
+// checker tick, so processes and containers created after this call are
+// still covered.
+func (k *Kernel) WatchInvariants(ch *fault.Checker) {
+	ch.WatchContainerSource(func() []*rc.Container {
+		var out []*rc.Container
+		for _, p := range k.procs {
+			if p.DefaultContainer != nil {
+				out = append(out, p.DefaultContainer)
+			}
+		}
+		return out
+	})
+	ch.WatchQueueSource(func() []fault.QueueState {
+		var out []fault.QueueState
+		for _, p := range k.procs {
+			if p.netQ == nil {
+				continue
+			}
+			for _, cq := range p.netQ.queues {
+				name := p.name + "/netq"
+				if cq.c != nil {
+					name = fmt.Sprintf("%s:%v", name, cq.c)
+				}
+				// +1 slack: requeueFront may return one borrowed item to a
+				// full queue (see netsim.Queue.PushFront).
+				out = append(out, fault.QueueState{
+					Name:  name,
+					Len:   cq.q.Len(),
+					Bound: p.netQ.backlog + 1,
+				})
+			}
+		}
+		return out
+	})
+}

@@ -19,6 +19,7 @@ package kernel
 import (
 	"fmt"
 
+	"rescon/internal/netsim"
 	"rescon/internal/rc"
 	"rescon/internal/sched"
 	"rescon/internal/sim"
@@ -76,6 +77,17 @@ type Kernel struct {
 	WireLossRate float64
 	lossRNG      *sim.RNG
 
+	// Faults, when set, decides the fate of every client-injected packet
+	// (drop/duplicate/delay/reorder); fault.Injector satisfies this
+	// structurally. It composes with WireLossRate (loss is applied first).
+	Faults WireFaults
+
+	// Police is the admission-control / load-shedding policy applied at
+	// early demultiplexing, keyed on per-container protocol backlog.
+	Police Policing
+	// policedDrops counts packets discarded by the policy.
+	policedDrops uint64
+
 	// ImplicitNetBinding makes kernel network threads use the generic
 	// observed-bindings-with-pruning scheduler binding (§4.3) instead of
 	// the exact pending-packet set (§4.7). It exists as an ablation knob:
@@ -86,6 +98,42 @@ type Kernel struct {
 	interruptTime sim.Duration
 	startTime     sim.Time
 }
+
+// WireFaults decides the fate of client-injected packets: one entry per
+// delivery, each an extra delay beyond the wire delay; an empty slice
+// loses the packet. See fault.Injector.WireFate.
+type WireFaults interface {
+	WireFate(pkt *netsim.Packet) []sim.Duration
+}
+
+// DefaultSYNPoliceFrac is the fraction of the per-container protocol
+// backlog beyond which new connection requests are refused when policing
+// is enabled. Small by design: a long SYN backlog is almost always stale
+// work (the clients behind it have timed out), so shedding early keeps
+// protocol effort for in-progress activities.
+const DefaultSYNPoliceFrac = 1.0 / 16
+
+// Policing configures per-container backlog admission control (the
+// load-shedding policy of the resilience experiments). With the policy
+// enabled, a packet whose destination container's pending-protocol
+// backlog exceeds frac×DefaultNetBacklog is discarded at demultiplexing,
+// for the cost of the packet filter alone. SYNs (new work) and data/FIN
+// (in-progress work) have separate thresholds, so overload sheds new
+// connections while letting accepted ones finish.
+type Policing struct {
+	Enabled bool
+	// SYNFrac is the backlog fraction beyond which connection requests
+	// are refused. 0 means DefaultSYNPoliceFrac; >= 1 disables.
+	SYNFrac float64
+	// DataFrac is the backlog fraction beyond which established-
+	// connection traffic is refused. 0 or >= 1 disables (the hard queue
+	// bound still applies).
+	DataFrac float64
+}
+
+// PolicedDrops returns how many packets the admission-control policy has
+// discarded.
+func (k *Kernel) PolicedDrops() uint64 { return k.policedDrops }
 
 // New returns a uniprocessor kernel (the paper's testbed, §5.2) in the
 // given mode with the given cost model.

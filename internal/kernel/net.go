@@ -3,6 +3,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"rescon/internal/netsim"
 	"rescon/internal/rc"
@@ -282,8 +283,10 @@ func (c *Conn) Send(t *Thread, size int, chargeTo *rc.Container, onDelivered fun
 }
 
 // ClientSend injects a packet from the client network: it reaches the
-// server NIC one wire delay from now, unless wire-loss injection drops
-// it (WireLossRate).
+// server NIC one wire delay from now, unless fault injection intervenes —
+// the legacy WireLossRate knob drops it outright, and an attached Faults
+// injector can drop, duplicate, delay or reorder it (§3.2's "degraded
+// network" conditions made reproducible).
 func (k *Kernel) ClientSend(pkt *netsim.Packet) {
 	if k.WireLossRate > 0 {
 		if k.lossRNG == nil {
@@ -293,6 +296,22 @@ func (k *Kernel) ClientSend(pkt *netsim.Packet) {
 			k.Tracer.Emit(k.Now(), trace.KindDrop, "wire loss: %s", pkt)
 			return
 		}
+	}
+	if k.Faults != nil {
+		deliveries := k.Faults.WireFate(pkt)
+		if len(deliveries) == 0 {
+			k.Tracer.Emit(k.Now(), trace.KindFault, "wire fault: lost %s", pkt)
+			return
+		}
+		for i, extra := range deliveries {
+			if i > 0 {
+				k.Tracer.Emit(k.Now(), trace.KindFault, "wire fault: duplicated %s (+%v)", pkt, extra)
+			} else if extra > 0 {
+				k.Tracer.Emit(k.Now(), trace.KindFault, "wire fault: delayed %s (+%v)", pkt, extra)
+			}
+			k.eng.After(k.costs.WireDelay+extra, func() { k.Arrive(pkt) })
+		}
+		return
 	}
 	k.eng.After(k.costs.WireDelay, func() { k.Arrive(pkt) })
 }
@@ -346,6 +365,9 @@ func (k *Kernel) earlyDemux(pkt *netsim.Packet) {
 		cont.ChargeCPU(rc.KernelCPU, k.costs.Demux)
 		cont.ChargePacketIn(pkt.Size)
 	}
+	if k.policeDemux(pkt, proc, cont, ls) {
+		return
+	}
 	if pkt.Kind == netsim.SYN && ls != nil && !pkt.Bogus && ls.pendingSYN+ls.acceptQ.Len() >= ls.acceptQ.Cap() {
 		// Excess connection requests are discarded at demultiplexing,
 		// before any protocol processing is invested — LRP's "excess
@@ -384,6 +406,49 @@ func (k *Kernel) earlyDemux(pkt *netsim.Packet) {
 		return
 	}
 	proc.netThread.Wake()
+}
+
+// policeDemux applies the admission-control policy at demultiplexing
+// time: when the destination container's pending-protocol backlog is
+// already long, NEW work (connection requests) is refused for the cost of
+// the packet filter alone, while in-progress work (data, FIN) keeps
+// flowing until the hard bound. This extends the bounded-queue drop
+// accounting into an explicit policing decision keyed on per-container
+// backlog — early discard of excess load (§3.2) before any protocol
+// effort is invested. It reports whether the packet was discarded.
+func (k *Kernel) policeDemux(pkt *netsim.Packet, proc *Process, cont *rc.Container, ls *ListenSocket) bool {
+	if !k.Police.Enabled || proc.netQ == nil {
+		return false
+	}
+	frac := k.Police.DataFrac
+	if pkt.Kind == netsim.SYN {
+		frac = k.Police.SYNFrac
+		if frac <= 0 {
+			frac = DefaultSYNPoliceFrac
+		}
+	}
+	if frac <= 0 || frac >= 1 {
+		return false
+	}
+	limit := int(frac * float64(proc.netQ.backlog))
+	if limit < 1 {
+		limit = 1
+	}
+	if proc.netQ.backlogFor(cont) < limit {
+		return false
+	}
+	k.Tracer.Emit(k.Now(), trace.KindPolice, "policed, backlog over %d: %s", limit, pkt)
+	k.policedDrops++
+	if cont != nil {
+		cont.ChargeDrop()
+	}
+	if pkt.Kind == netsim.SYN && ls != nil {
+		ls.synDrops++
+		if ls.cfg.OnSynDrop != nil {
+			ls.cfg.OnSynDrop(pkt.Src)
+		}
+	}
+	return true
 }
 
 // route finds the destination process, charge container and (for SYNs)
@@ -517,6 +582,25 @@ func (k *Kernel) LookupConn(id uint64) (*Conn, bool) {
 	return c, ok
 }
 
+// CloseConnsOf tears down every established connection owned by the
+// process — what the kernel does when a server worker crashes. Closing
+// happens in ascending connection-id order so crash recovery is
+// deterministic.
+func (k *Kernel) CloseConnsOf(p *Process) {
+	ids := make([]uint64, 0, len(k.net.conns))
+	for id, c := range k.net.conns {
+		if c.proc == p {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if c, ok := k.net.conns[id]; ok {
+			c.Close()
+		}
+	}
+}
+
 // pktWork is protocol processing pending on a kernel network thread.
 type pktWork struct {
 	pkt       *netsim.Packet
@@ -573,6 +657,21 @@ func (pq *pktQueue) queueFor(c *rc.Container) *contQueue {
 	}
 	pq.queues = append(pq.queues, cq)
 	return cq
+}
+
+// backlogFor returns the pending-protocol backlog of the container's
+// queue (the whole process's queue outside ModeRC, mirroring enqueue's
+// keying).
+func (pq *pktQueue) backlogFor(c *rc.Container) int {
+	if pq.k.mode != ModeRC {
+		c = nil
+	}
+	for _, cq := range pq.queues {
+		if cq.c == c {
+			return cq.q.Len()
+		}
+	}
+	return 0
 }
 
 // enqueue adds pending protocol work; it reports false when the backlog

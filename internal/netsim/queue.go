@@ -4,9 +4,15 @@ package netsim
 // accept queues and for per-process protocol queues. A zero capacity
 // means unbounded (used for the baseline interrupt queue, whose unbounded
 // growth is exactly the receive-livelock failure mode).
+//
+// The queue is a ring buffer: Push, PushFront, Pop and Peek are all O(1).
+// The backing array grows on demand and is released when the queue
+// drains, so a transient backlog cannot pin memory forever.
 type Queue[T any] struct {
-	items []T
-	cap   int
+	buf   []T
+	head  int // index of the oldest item
+	n     int // number of queued items
+	cap   int // capacity bound (0 = unbounded)
 	drops uint64
 }
 
@@ -15,34 +21,65 @@ func NewQueue[T any](capacity int) *Queue[T] {
 	return &Queue[T]{cap: capacity}
 }
 
+// grow ensures room for one more item.
+func (q *Queue[T]) grow() {
+	if q.n < len(q.buf) {
+		return
+	}
+	size := 2 * len(q.buf)
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]T, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}
+
 // Push appends v, or drops it (counting the drop) when the queue is full.
 // It reports whether the item was accepted.
 func (q *Queue[T]) Push(v T) bool {
-	if q.cap > 0 && len(q.items) >= q.cap {
+	if q.cap > 0 && q.n >= q.cap {
 		q.drops++
 		return false
 	}
-	q.items = append(q.items, v)
+	q.grow()
+	q.buf[(q.head+q.n)%len(q.buf)] = v
+	q.n++
 	return true
 }
 
-// PushFront prepends v, bypassing the capacity bound: it exists to return
-// borrowed (partially processed) work to the head of the queue.
+// PushFront prepends v. It deliberately BYPASSES the capacity bound: it
+// exists to return borrowed (partially processed) work to the head of the
+// queue, and rejecting that work would lose it. The queue may therefore
+// briefly exceed Cap() — by at most the number of items concurrently
+// borrowed (one per servicing thread) — and Full() reports true for it,
+// so subsequent Push calls drop as usual. Invariant checkers watching the
+// bound must allow that slack.
 func (q *Queue[T]) PushFront(v T) {
-	q.items = append([]T{v}, q.items...)
+	q.grow()
+	q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+	q.buf[q.head] = v
+	q.n++
 }
 
 // Pop removes and returns the oldest item.
 func (q *Queue[T]) Pop() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items[0] = zero // release reference
-	q.items = q.items[1:]
-	if len(q.items) == 0 {
-		q.items = nil // reset backing array so it cannot grow unboundedly
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release reference
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	if q.n == 0 {
+		// Release the backing array so a drained queue cannot pin the
+		// memory of its worst-case backlog.
+		q.buf = nil
+		q.head = 0
 	}
 	return v, true
 }
@@ -50,23 +87,28 @@ func (q *Queue[T]) Pop() (T, bool) {
 // Peek returns the oldest item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		return zero, false
 	}
-	return q.items[0], true
+	return q.buf[q.head], true
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.n }
 
-// Cap returns the capacity (0 = unbounded).
+// Cap returns the capacity (0 = unbounded). PushFront may briefly exceed
+// it; see PushFront.
 func (q *Queue[T]) Cap() int { return q.cap }
 
 // Full reports whether a Push would drop.
-func (q *Queue[T]) Full() bool { return q.cap > 0 && len(q.items) >= q.cap }
+func (q *Queue[T]) Full() bool { return q.cap > 0 && q.n >= q.cap }
 
 // Drops returns how many items have been rejected.
 func (q *Queue[T]) Drops() uint64 { return q.drops }
 
 // Clear empties the queue without counting drops.
-func (q *Queue[T]) Clear() { q.items = nil }
+func (q *Queue[T]) Clear() {
+	q.buf = nil
+	q.head = 0
+	q.n = 0
+}

@@ -1,0 +1,128 @@
+package netsim
+
+import "testing"
+
+// TestQueueWraparound drives head past the end of the backing array and
+// verifies FIFO order survives the wrap.
+func TestQueueWraparound(t *testing.T) {
+	q := NewQueue[int](0)
+	next := 0
+	// Fill to the initial backing size, then cycle pop-one/push-one far
+	// past it so head crosses the array boundary many times.
+	for ; next < 8; next++ {
+		q.Push(next)
+	}
+	want := 0
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("pop %d = (%d,%v), want %d", i, v, ok, want)
+		}
+		want++
+		q.Push(next)
+		next++
+	}
+	if q.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", q.Len())
+	}
+	for q.Len() > 0 {
+		v, _ := q.Pop()
+		if v != want {
+			t.Fatalf("drain pop = %d, want %d", v, want)
+		}
+		want++
+	}
+}
+
+// TestQueueGrowPreservesOrderAcrossWrap grows the ring while head is in
+// the middle of the array, so the copy-out must unwrap correctly.
+func TestQueueGrowPreservesOrderAcrossWrap(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < 8; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 5; i++ { // advance head to index 5
+		q.Pop()
+	}
+	for i := 8; i < 20; i++ { // forces at least one grow with head != 0
+		q.Push(i)
+	}
+	for want := 5; want < 20; want++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("pop = (%d,%v), want %d", v, ok, want)
+		}
+	}
+}
+
+// TestQueuePushFrontOrdering verifies PushFront prepends ahead of queued
+// items and interleaves correctly with Push.
+func TestQueuePushFrontOrdering(t *testing.T) {
+	q := NewQueue[int](0)
+	q.Push(2)
+	q.Push(3)
+	q.PushFront(1)
+	q.Push(4)
+	q.PushFront(0)
+	for want := 0; want <= 4; want++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("pop = (%d,%v), want %d", v, ok, want)
+		}
+	}
+}
+
+// TestQueuePushFrontBypassesCap is the documented contract: PushFront
+// returns borrowed work even to a full queue, Len may exceed Cap by the
+// borrowed amount, Full reports true, and subsequent Pushes drop.
+func TestQueuePushFrontBypassesCap(t *testing.T) {
+	q := NewQueue[int](4)
+	for i := 1; i <= 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	q.PushFront(0) // borrowed item returned to a full queue
+	if q.Len() != 5 || q.Cap() != 4 {
+		t.Fatalf("Len=%d Cap=%d, want 5 over cap 4", q.Len(), q.Cap())
+	}
+	if !q.Full() {
+		t.Fatal("queue over capacity must report Full")
+	}
+	if q.Push(9) {
+		t.Fatal("Push accepted while over capacity")
+	}
+	if q.Drops() != 1 {
+		t.Fatalf("Drops = %d, want 1", q.Drops())
+	}
+	for want := 0; want <= 4; want++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("pop = (%d,%v), want %d", v, ok, want)
+		}
+	}
+}
+
+// TestQueueReleasesBufferOnDrain checks that a drained queue does not pin
+// the backing array of its worst-case backlog (and Clear likewise).
+func TestQueueReleasesBufferOnDrain(t *testing.T) {
+	q := NewQueue[*Packet](0)
+	for i := 0; i < 1000; i++ {
+		q.Push(&Packet{})
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	if q.buf != nil {
+		t.Fatalf("drained queue still holds %d-slot buffer", len(q.buf))
+	}
+	q.Push(&Packet{})
+	q.Clear()
+	if q.buf != nil {
+		t.Fatal("Clear did not release the buffer")
+	}
+	// The queue must remain usable after release.
+	if !q.Push(&Packet{}) || q.Len() != 1 {
+		t.Fatal("queue unusable after buffer release")
+	}
+}

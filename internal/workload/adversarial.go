@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"rescon/internal/kernel"
+	"rescon/internal/netsim"
+	"rescon/internal/sim"
+)
+
+// SlowLorisConfig configures a slow-loris attacker.
+type SlowLorisConfig struct {
+	Kernel *kernel.Kernel
+	// Src is the attacker's base address; connections cycle its port.
+	Src netsim.Addr
+	// Dst is the victim endpoint.
+	Dst netsim.Addr
+	// Conns is the number of connections held open (default 32).
+	Conns int
+	// Trickle is the mean interval between junk packets per connection
+	// (default 250 ms — just frequent enough to look alive).
+	Trickle sim.Duration
+	// Hold closes and reopens each connection after this lifetime, so
+	// the attack also churns the accept path. Zero holds forever.
+	Hold sim.Duration
+}
+
+// SlowLoris models the slow-request attack: it opens many connections
+// and keeps each alive by trickling tiny packets that never form a
+// complete request. The server pays receive-protocol CPU for every
+// trickle and pins socket-buffer memory for every held connection, yet
+// never sees a request it could account against — low-bandwidth,
+// high-occupancy overload, complementary to the SYN flood's
+// high-bandwidth attack. With resource containers the per-connection
+// (or per-source) charges expose the attacker; without them the cost
+// dissolves into interrupt-level noise.
+type SlowLoris struct {
+	cfg      SlowLorisConfig
+	k        *kernel.Kernel
+	eng      *sim.Engine
+	rng      *sim.RNG
+	nextPort uint16
+	opened   uint64
+	trickled uint64
+	stopped  bool
+}
+
+// StartSlowLoris launches the attacker immediately, staggering its
+// connection attempts over one trickle interval.
+func StartSlowLoris(cfg SlowLorisConfig) *SlowLoris {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 32
+	}
+	if cfg.Trickle <= 0 {
+		cfg.Trickle = 250 * sim.Millisecond
+	}
+	s := &SlowLoris{
+		cfg:      cfg,
+		k:        cfg.Kernel,
+		eng:      cfg.Kernel.Engine(),
+		nextPort: cfg.Src.Port,
+	}
+	// Own deterministic stream, keyed on the attacker's address so it
+	// never perturbs the legitimate clients' schedules.
+	s.rng = s.eng.Rand().Fork(0x510717 ^ uint64(cfg.Src.IP)<<16 | uint64(cfg.Src.Port))
+	for i := 0; i < cfg.Conns; i++ {
+		s.eng.After(s.rng.Uniform(0, cfg.Trickle), func() { s.openOne() })
+	}
+	return s
+}
+
+// Stop halts the attack; held connections simply go quiet (the attacker
+// does not bother to close them).
+func (s *SlowLoris) Stop() { s.stopped = true }
+
+// Opened returns how many connections the attacker has established.
+func (s *SlowLoris) Opened() uint64 { return s.opened }
+
+// Trickled returns how many junk packets the attacker has sent.
+func (s *SlowLoris) Trickled() uint64 { return s.trickled }
+
+// openOne establishes one held connection, retrying if the SYN is shed.
+func (s *SlowLoris) openOne() {
+	if s.stopped {
+		return
+	}
+	s.nextPort++
+	if s.nextPort == 0 {
+		s.nextPort = 1024
+	}
+	src := netsim.Addr{IP: s.cfg.Src.IP, Port: s.nextPort}
+	established := false
+	s.k.ClientSend(kernel.ConnectPacket(src, s.cfg.Dst, func(conn *kernel.Conn) {
+		if s.stopped || established {
+			return
+		}
+		established = true
+		s.opened++
+		s.drip(conn, s.k.Now())
+	}))
+	s.eng.After(4*s.cfg.Trickle, func() {
+		if s.stopped || established {
+			return
+		}
+		// SYN shed (policing, flood, loss): a real attacker retries.
+		s.openOne()
+	})
+}
+
+// drip keeps one connection alive with junk packets until Hold expires
+// or the server closes it, then replaces it.
+func (s *SlowLoris) drip(conn *kernel.Conn, openedAt sim.Time) {
+	if s.stopped {
+		return
+	}
+	if conn.Closed() {
+		// The server shed us; come back.
+		s.eng.After(s.cfg.Trickle, func() { s.openOne() })
+		return
+	}
+	if s.cfg.Hold > 0 && s.k.Now().Sub(openedAt) >= s.cfg.Hold {
+		s.k.ClientSend(kernel.FINPacket(conn.Client(), s.cfg.Dst, conn.ID()))
+		s.eng.After(s.cfg.Trickle, func() { s.openOne() })
+		return
+	}
+	s.trickled++
+	// A 64-byte fragment that never completes a request: the server's
+	// protocol path pays for it, the application never hears of it.
+	s.k.ClientSend(kernel.DataPacket(conn.Client(), s.cfg.Dst, conn.ID(), 64, nil))
+	s.eng.After(s.rng.Uniform(s.cfg.Trickle/2, s.cfg.Trickle*3/2), func() {
+		s.drip(conn, openedAt)
+	})
+}

@@ -44,6 +44,24 @@ type ClientConfig struct {
 	// to 3 s, the BSD SYN retransmission interval.
 	ConnectTimeout sim.Duration
 	RequestTimeout sim.Duration
+
+	// BackoffBase enables exponential backoff between timeout retries:
+	// the i-th consecutive retry waits ~min(BackoffBase<<(i-1),
+	// BackoffMax), with uniform jitter in [d/2, d] so a retrying
+	// population desynchronizes instead of retransmitting in lockstep.
+	// Zero keeps the S-Client's immediate-retransmit behavior.
+	BackoffBase sim.Duration
+	// BackoffMax caps the backoff delay; zero means 16×BackoffBase.
+	BackoffMax sim.Duration
+	// MaxRetries abandons a request after this many consecutive timeouts
+	// (counted in GiveUps) and moves on to the next; zero retries
+	// forever.
+	MaxRetries int
+	// AbortRate is the per-request probability that the client abandons
+	// the request mid-flight — closing the connection before the
+	// response arrives, like an impatient browser user. The server may
+	// still be computing the response when the FIN lands.
+	AbortRate float64
 }
 
 // Client is a closed-loop request generator: at most one outstanding
@@ -62,10 +80,17 @@ type Client struct {
 	Meter *metrics.RateMeter
 	// Timeouts counts connect/request timeouts.
 	Timeouts metrics.Counter
+	// Retries counts backoff-delayed retransmissions; Aborts counts
+	// mid-request abandonments; GiveUps counts requests dropped after
+	// MaxRetries consecutive timeouts.
+	Retries metrics.Counter
+	Aborts  metrics.Counter
+	GiveUps metrics.Counter
 
-	rng     *sim.RNG
-	reqSeq  uint64
-	stopped bool
+	rng      *sim.RNG
+	reqSeq   uint64
+	attempts int // consecutive timeouts for the current request
+	stopped  bool
 }
 
 // StartClient launches the client's request loop immediately.
@@ -105,6 +130,9 @@ func (c *Client) ResetStats() {
 	c.Latency.Reset()
 	c.Meter.Restart(c.k.Now())
 	c.Timeouts.Reset()
+	c.Retries.Reset()
+	c.Aborts.Reset()
+	c.GiveUps.Reset()
 }
 
 func (c *Client) srcAddr() netsim.Addr {
@@ -144,11 +172,59 @@ func (c *Client) connect(start sim.Time) {
 		if c.gen != gen || established || c.stopped {
 			return
 		}
-		// SYN lost (queue overflow): retransmit, as the S-Client does.
-		c.Timeouts.Inc()
-		c.gen++
-		c.connect(start)
+		// SYN lost (queue overflow or wire fault): retransmit, as the
+		// S-Client does — immediately, or after backoff when configured.
+		c.retryAfterTimeout(func() { c.connect(start) })
 	})
+}
+
+// retryAfterTimeout decides the fate of a timed-out attempt: give up
+// after MaxRetries consecutive timeouts, otherwise retry — immediately
+// (the S-Client default) or after a jittered exponential-backoff delay.
+func (c *Client) retryAfterTimeout(retry func()) {
+	c.Timeouts.Inc()
+	c.gen++
+	c.attempts++
+	if c.cfg.MaxRetries > 0 && c.attempts > c.cfg.MaxRetries {
+		c.GiveUps.Inc()
+		c.attempts = 0
+		c.conn = nil
+		c.think()
+		return
+	}
+	d := c.backoff()
+	if d <= 0 {
+		retry()
+		return
+	}
+	c.Retries.Inc()
+	c.eng.After(d, func() {
+		if c.stopped {
+			return
+		}
+		retry()
+	})
+}
+
+// backoff returns the jittered exponential delay for the current retry
+// attempt, or zero when backoff is disabled.
+func (c *Client) backoff() sim.Duration {
+	base := c.cfg.BackoffBase
+	if base <= 0 {
+		return 0
+	}
+	cap := c.cfg.BackoffMax
+	if cap <= 0 {
+		cap = 16 * base
+	}
+	d := base
+	for i := 1; i < c.attempts && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return c.rng.Uniform(d/2, d)
 }
 
 func (c *Client) sendRequest(conn *kernel.Conn, start sim.Time) {
@@ -171,6 +247,7 @@ func (c *Client) sendRequest(conn *kernel.Conn, start sim.Time) {
 				return
 			}
 			answered = true
+			c.attempts = 0
 			c.Latency.ObserveDuration(at.Sub(start))
 			c.Meter.Observe(at)
 			if !c.cfg.Persistent {
@@ -190,11 +267,25 @@ func (c *Client) sendRequest(conn *kernel.Conn, start sim.Time) {
 		if c.gen != gen || answered || c.stopped {
 			return
 		}
-		c.Timeouts.Inc()
-		c.gen++
 		c.conn = nil
-		c.startRequest()
+		c.retryAfterTimeout(func() { c.startRequest() })
 	})
+	if c.cfg.AbortRate > 0 && c.rng.Float64() < c.cfg.AbortRate {
+		// Impatient user: abandon the request partway through its
+		// allowance, closing the connection under the server's feet. The
+		// server may still spend CPU or disk on the doomed response.
+		c.eng.After(c.rng.Uniform(0, timeout/4), func() {
+			if c.gen != gen || answered || c.stopped {
+				return
+			}
+			answered = true
+			c.attempts = 0
+			c.Aborts.Inc()
+			c.k.ClientSend(kernel.FINPacket(conn.Client(), c.cfg.Dst, conn.ID()))
+			c.conn = nil
+			c.think()
+		})
+	}
 }
 
 func (c *Client) think() {

@@ -13,6 +13,7 @@ type Flooder struct {
 	dst    netsim.Addr
 	prefix netsim.IP
 	hosts  uint32
+	rate   sim.Rate
 	sent   uint64
 	ticker *sim.Ticker
 }
@@ -23,7 +24,7 @@ func StartFlood(k *kernel.Kernel, rate sim.Rate, prefix netsim.IP, hosts uint32,
 	if hosts == 0 {
 		hosts = 1
 	}
-	f := &Flooder{k: k, dst: dst, prefix: prefix, hosts: hosts}
+	f := &Flooder{k: k, dst: dst, prefix: prefix, hosts: hosts, rate: rate}
 	f.ticker = k.Engine().Every(rate.Interval(), func() { f.sendOne() })
 	return f
 }
@@ -40,5 +41,20 @@ func (f *Flooder) sendOne() {
 // Sent returns the number of flood packets emitted.
 func (f *Flooder) Sent() uint64 { return f.sent }
 
-// Stop ends the flood.
-func (f *Flooder) Stop() { f.ticker.Stop() }
+// Stop pauses the flood. The source-address cycle is preserved, so a
+// later Restart continues where the flood left off.
+func (f *Flooder) Stop() {
+	if f.ticker != nil {
+		f.ticker.Stop()
+		f.ticker = nil
+	}
+}
+
+// Restart resumes a stopped flood at its original rate (an on/off
+// attacker). Restarting a running flood is a no-op.
+func (f *Flooder) Restart() {
+	if f.ticker != nil {
+		return
+	}
+	f.ticker = f.k.Engine().Every(f.rate.Interval(), func() { f.sendOne() })
+}

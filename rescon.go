@@ -36,6 +36,7 @@ package rescon
 import (
 	"time"
 
+	"rescon/internal/fault"
 	"rescon/internal/httpsim"
 	"rescon/internal/kernel"
 	"rescon/internal/netsim"
@@ -197,6 +198,52 @@ const (
 	Millisecond = sim.Millisecond
 	Second      = sim.Second
 )
+
+// Fault injection and resilience (internal/fault, internal/workload).
+type (
+	// FaultConfig sets the per-class probabilities of the deterministic
+	// fault injector: wire drop/duplicate/reorder/delay and disk
+	// error/latency-spike rates.
+	FaultConfig = fault.Config
+	// FaultInjector draws seed-stable wire and disk fault schedules;
+	// assign it to Kernel.Faults and Kernel.Disk().Faults.
+	FaultInjector = fault.Injector
+	// FaultStats counts injected faults by class.
+	FaultStats = fault.Stats
+	// InvariantChecker periodically asserts CPU-charge conservation,
+	// virtual-clock monotonicity and queue bounds at runtime; wire a
+	// kernel in with Kernel.WatchInvariants.
+	InvariantChecker = fault.Checker
+	// CrashPlan configures a crash-and-restart schedule (MTBF, downtime).
+	CrashPlan = fault.CrashPlan
+	// Crasher drives crash/restart callbacks on an Exp(MTBF) schedule.
+	Crasher = fault.Crasher
+	// SlowLoris is an attacker that holds server connections open by
+	// trickling bytes that never form a request.
+	SlowLoris = workload.SlowLoris
+	// SlowLorisConfig configures a slow-loris attacker.
+	SlowLorisConfig = workload.SlowLorisConfig
+)
+
+// NewFaultInjector returns a deterministic fault injector drawing from
+// the engine's seed; each fault class uses its own forked stream, so
+// enabling one class never perturbs another's schedule.
+func NewFaultInjector(eng *Engine, cfg FaultConfig) *FaultInjector {
+	return fault.NewInjector(eng, cfg)
+}
+
+// NewInvariantChecker returns a runtime invariant checker; call Start to
+// begin periodic checks.
+func NewInvariantChecker(eng *Engine) *InvariantChecker { return fault.NewChecker(eng) }
+
+// StartCrasher schedules crash/restart cycles; see fault.StartCrasher.
+func StartCrasher(eng *Engine, plan CrashPlan, crash, restart func()) *Crasher {
+	return fault.StartCrasher(eng, plan, crash, restart)
+}
+
+// StartSlowLoris launches a slow-loris attacker; see
+// workload.StartSlowLoris.
+func StartSlowLoris(cfg SlowLorisConfig) *SlowLoris { return workload.StartSlowLoris(cfg) }
 
 // Enforcer applies container CPU limits and accounting to real
 // (non-simulated) Go programs via cooperative bracketing — the userspace

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench tier1 ci
+.PHONY: all build vet test race bench bench-baseline tier1 ci
 
 all: ci
 
@@ -21,6 +21,12 @@ race:
 
 bench:
 	$(GO) test -run - -bench . -benchtime 1x ./...
+
+# Record the full testing.B suite as a JSON baseline for perf-regression
+# comparisons (docs/PERFORMANCE.md). Uses a real benchtime so the numbers
+# are stable enough to compare against.
+bench-baseline:
+	$(GO) test -run - -bench . -benchmem -timeout 30m ./... | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
 
 tier1: build race
 

@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document, one record per benchmark, for storing perf baselines
+// (see `make bench-baseline` and docs/PERFORMANCE.md).
+//
+//	go test -run - -bench . -benchtime 1x ./... | go run ./cmd/benchjson -o BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line. NsPerOp is always present; the
+// allocation columns appear only when the benchmark reports them
+// (b.ReportAllocs or -benchmem).
+type Result struct {
+	Package     string   `json:"package"`
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// parse consumes `go test -bench` output. Benchmark lines precede the
+// `ok <package> <time>` line of their package, so results are buffered
+// until the package name is known.
+func parse(lines *bufio.Scanner) ([]Result, error) {
+	var out []Result
+	var pending []Result
+	for lines.Scan() {
+		line := strings.TrimSpace(lines.Text())
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, "Benchmark") && len(fields) >= 4:
+			r, ok := parseBench(fields)
+			if !ok {
+				continue
+			}
+			pending = append(pending, r)
+		case len(fields) >= 2 && fields[0] == "ok":
+			for i := range pending {
+				pending[i].Package = fields[1]
+			}
+			out = append(out, pending...)
+			pending = pending[:0]
+		}
+	}
+	if err := lines.Err(); err != nil {
+		return nil, err
+	}
+	// Trailing results with no ok line (e.g. a failed package) keep an
+	// empty package rather than being dropped silently.
+	out = append(out, pending...)
+	return out, nil
+}
+
+// parseBench parses one benchmark line:
+//
+//	BenchmarkName-8   123   456.7 ns/op   8 B/op   1 allocs/op
+func parseBench(fields []string) (Result, bool) {
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -GOMAXPROCS suffix if numeric.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			b := v
+			r.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			r.AllocsPerOp = &a
+		}
+	}
+	return r, seenNs
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	results, err := parse(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *outPath)
+}

@@ -9,16 +9,22 @@
 //	rcbench -exp fig12,fig14 # a comma-separated list
 //	rcbench -quick           # short measurement windows (CI-speed)
 //	rcbench -seed 7          # different deterministic seed
+//	rcbench -parallel 1      # serial sweeps (default: GOMAXPROCS workers)
+//	rcbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
-// Experiments: table1, baseline, overhead, fig11, fig12, fig13, fig14,
-// fig14lrp, vservers, resilience, faults, ablate-pruning, ablate-filter,
-// ablate-api, ablate-lrp.
+// Sweep experiments fan their independent data points across -parallel
+// worker goroutines; the rendered output is byte-identical at any
+// parallelism (see docs/PERFORMANCE.md). An unknown -exp name fails
+// before anything runs and prints the known-experiment set.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
 
 	"rescon/internal/experiments"
@@ -145,56 +151,119 @@ func renderFig12(opt experiments.Options, tput, share bool) {
 	}
 }
 
-func main() {
+// resolveExperiments expands an -exp spec into the runners to execute, in
+// declaration order. Unknown names fail up front — before any experiment
+// has run — with the full known set in the error.
+func resolveExperiments(spec string) ([]runner, error) {
+	if spec == "all" {
+		var out []runner
+		for _, r := range runners {
+			if r.inAll {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	var out []runner
+	for _, r := range runners {
+		if want[r.name] {
+			out = append(out, r)
+			delete(want, r.name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for name := range want {
+			unknown = append(unknown, fmt.Sprintf("%q", name))
+		}
+		sort.Strings(unknown)
+		known := make([]string, len(runners))
+		for i, r := range runners {
+			known[i] = r.name
+		}
+		return nil, fmt.Errorf("unknown experiment(s) %s\nknown experiments: all, %s",
+			strings.Join(unknown, ", "), strings.Join(known, ", "))
+	}
+	return out, nil
+}
+
+func main() { os.Exit(run()) }
+
+// run is main minus os.Exit, so the deferred profile writers always run.
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run ('all', one name, or a comma-separated list)")
 	quick := flag.Bool("quick", false, "short measurement windows")
 	seed := flag.Int64("seed", 1999, "simulation seed")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	check := flag.Bool("check", false, "run the invariant checker inside every simulation")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker goroutines for sweep data points (1 = serial); output is identical at any setting")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	asCSV = *csvOut
 
-	opt := experiments.Options{Seed: *seed, Invariants: *check}
+	selected, err := resolveExperiments(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	opt := experiments.Options{Seed: *seed, Invariants: *check, Parallel: *parallel}
 	if *quick {
 		opt.Warmup = sim.Second
 		opt.Window = 2 * sim.Second
 	}
 
 	failed := 0
-	report := func(name string, err error) {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	for _, r := range selected {
+		if *exp == "all" {
+			fmt.Printf("== %s ==\n", r.name)
+		}
+		if err := r.run(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
 			failed++
 		}
-	}
-	if *exp == "all" {
-		for _, r := range runners {
-			if !r.inAll {
-				continue
-			}
-			fmt.Printf("== %s ==\n", r.name)
-			report(r.name, r.run(opt))
+		if *exp == "all" {
 			fmt.Println()
-		}
-	} else {
-		want := map[string]bool{}
-		for _, name := range strings.Split(*exp, ",") {
-			want[strings.TrimSpace(name)] = true
-		}
-		for _, r := range runners {
-			if want[r.name] {
-				report(r.name, r.run(opt))
-				delete(want, r.name)
-			}
-		}
-		if len(want) > 0 {
-			for name := range want {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			}
-			os.Exit(2)
 		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

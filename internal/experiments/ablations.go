@@ -29,7 +29,7 @@ func AblatePruning(opt Options) *metrics.Table {
 	const floodRate = 70_000
 	t := metrics.NewTable("Ablation: network-thread scheduler binding under a 70k SYN/s flood (RC defense)",
 		"Binding mechanism", "Good-client throughput (req/s)")
-	for _, cfg := range []struct {
+	cfgs := []struct {
 		name     string
 		implicit bool
 		noPrune  bool
@@ -37,9 +37,12 @@ func AblatePruning(opt Options) *metrics.Table {
 		{"exact pending-set (default)", false, false},
 		{"implicit + pruning", true, false},
 		{"implicit, pruning disabled", true, true},
-	} {
-		rate := ablatePruningPoint(cfg.implicit, cfg.noPrune, floodRate, opt)
-		t.AddRow(cfg.name, rate)
+	}
+	rates := runPoints(opt.Parallel, len(cfgs), func(i int) float64 {
+		return ablatePruningPoint(cfgs[i].implicit, cfgs[i].noPrune, floodRate, opt)
+	})
+	for i, cfg := range cfgs {
+		t.AddRow(cfg.name, rates[i])
 	}
 	return t
 }
@@ -82,14 +85,17 @@ func AblateFilterPriority(opt Options) *metrics.Table {
 	opt = opt.withDefaults(2*sim.Second, 5*sim.Second)
 	t := metrics.NewTable("Ablation: filter alone vs. filter + priority-0 container (70k SYN/s)",
 		"Defense", "Good-client throughput (req/s)")
-	for _, prio := range []int{kernel.DefaultPriority, 0} {
-		sys := fig14System{mode: kernel.ModeRC, defend: true, defensePriority: prio}
-		rate := fig14Point(sys, 70_000, opt)
+	prios := []int{kernel.DefaultPriority, 0}
+	rates := runPoints(opt.Parallel, len(prios), func(i int) float64 {
+		sys := fig14System{mode: kernel.ModeRC, defend: true, defensePriority: prios[i]}
+		return fig14Point(sys, 70_000, opt)
+	})
+	for i, prio := range prios {
 		name := "filtered socket, normal priority"
 		if prio == 0 {
 			name = "filtered socket, priority-0 container"
 		}
-		t.AddRow(name, rate)
+		t.AddRow(name, rates[i])
 	}
 	return t
 }
@@ -101,10 +107,14 @@ func AblateEventAPI(opt Options) *metrics.Table {
 	opt = opt.withDefaults(2*sim.Second, 10*sim.Second)
 	t := metrics.NewTable("Ablation: select() vs. scalable event API (RC kernel, 35 low-priority clients)",
 		"API", "High-priority response time (ms)")
-	for _, api := range []httpsim.API{httpsim.SelectAPI, httpsim.EventAPI} {
-		sys := fig11System{name: api.String(), mode: kernel.ModeRC, api: api, containers: true,
+	apis := []httpsim.API{httpsim.SelectAPI, httpsim.EventAPI}
+	vals := runPoints(opt.Parallel, len(apis), func(i int) float64 {
+		sys := fig11System{name: apis[i].String(), mode: kernel.ModeRC, api: apis[i], containers: true,
 			premiumSocket: true}
-		t.AddRow(api.String(), fig11Point(sys, 35, opt))
+		return fig11Point(sys, 35, opt)
+	})
+	for i, api := range apis {
+		t.AddRow(api.String(), vals[i])
 	}
 	return t
 }
@@ -118,14 +128,18 @@ func AblateLeafPolicy(opt Options) *metrics.Table {
 	opt = opt.withDefaults(2*sim.Second, 10*sim.Second)
 	t := metrics.NewTable("Ablation: time-share leaf policy (RC kernel, event API, 25 low-priority clients)",
 		"Leaf policy", "High-priority response time (ms)")
-	for _, lottery := range []bool{false, true} {
+	lotteries := []bool{false, true}
+	vals := runPoints(opt.Parallel, len(lotteries), func(i int) float64 {
 		sys := fig11System{mode: kernel.ModeRC, api: httpsim.EventAPI,
-			containers: true, premiumSocket: true, lottery: lottery}
+			containers: true, premiumSocket: true, lottery: lotteries[i]}
+		return fig11Point(sys, 25, opt)
+	})
+	for i, lottery := range lotteries {
 		name := "decayed-usage priorities (default)"
 		if lottery {
 			name = "lottery scheduling"
 		}
-		t.AddRow(name, fig11Point(sys, 25, opt))
+		t.AddRow(name, vals[i])
 	}
 	return t
 }
@@ -144,8 +158,11 @@ func AblateLRPCharging(opt Options) *metrics.Table {
 		{name: "RC + select()", mode: kernel.ModeRC, api: httpsim.SelectAPI, containers: true, premiumSocket: true},
 		{name: "RC + event API", mode: kernel.ModeRC, api: httpsim.EventAPI, containers: true, premiumSocket: true},
 	}
-	for _, sys := range systems {
-		t.AddRow(sys.name, fig11Point(sys, 35, opt))
+	vals := runPoints(opt.Parallel, len(systems), func(i int) float64 {
+		return fig11Point(systems[i], 35, opt)
+	})
+	for i, sys := range systems {
+		t.AddRow(sys.name, vals[i])
 	}
 	return t
 }

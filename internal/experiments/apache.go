@@ -23,11 +23,19 @@ func Apache(opt Options) []*metrics.Series {
 	opt = opt.withDefaults(2*sim.Second, 10*sim.Second)
 	apache := &metrics.Series{Name: "Apache + nice (unmodified)"}
 	rcs := &metrics.Series{Name: "With containers/new event API"}
-	for _, n := range Fig11Points {
-		apache.Append(float64(n), apachePoint(n, opt))
+	np := len(Fig11Points)
+	vals := runPoints(opt.Parallel, 2*np, func(i int) float64 {
+		n := Fig11Points[i%np]
+		if i < np {
+			return apachePoint(n, opt)
+		}
 		sys := fig11System{mode: kernel.ModeRC, api: httpsim.EventAPI,
 			containers: true, premiumSocket: true}
-		rcs.Append(float64(n), fig11Point(sys, n, opt))
+		return fig11Point(sys, n, opt)
+	})
+	for pi, n := range Fig11Points {
+		apache.Append(float64(n), vals[pi])
+		rcs.Append(float64(n), vals[np+pi])
 	}
 	return []*metrics.Series{apache, rcs}
 }

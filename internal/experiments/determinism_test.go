@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"rescon/internal/metrics"
+	"rescon/internal/sim"
+)
+
+// The safety net for the parallel sweep runner: every driver must render
+// byte-identical output for the same seed, run twice serially and run
+// with the points fanned over four workers. Windows are short — these
+// runs exist to compare outputs, not to reproduce the paper's numbers.
+
+func detOpts(parallel int) Options {
+	return Options{
+		Seed:     7,
+		Warmup:   200 * sim.Millisecond,
+		Window:   500 * sim.Millisecond,
+		Parallel: parallel,
+	}
+}
+
+func renderedSeries(t *testing.T, s []*metrics.Series) string {
+	t.Helper()
+	var buf bytes.Buffer
+	metrics.RenderSeries(&buf, "determinism", "x", s...)
+	return buf.String()
+}
+
+func TestSweepDriversDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: full sweep determinism runs in the long suite")
+	}
+	cases := []struct {
+		name   string
+		render func(t *testing.T, opt Options) string
+	}{
+		{"fig11", func(t *testing.T, opt Options) string {
+			return renderedSeries(t, Fig11(opt))
+		}},
+		{"fig12", func(t *testing.T, opt Options) string {
+			r := Fig12(opt)
+			return renderedSeries(t, r.Throughput) + renderedSeries(t, r.CGIShare)
+		}},
+		{"fig14", func(t *testing.T, opt Options) string {
+			return renderedSeries(t, Fig14(opt))
+		}},
+		{"overload", func(t *testing.T, opt Options) string {
+			return renderedSeries(t, Overload(opt))
+		}},
+		{"resilience", func(t *testing.T, opt Options) string {
+			curves, err := ResilienceCurves(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return renderedSeries(t, curves)
+		}},
+		{"faults", func(t *testing.T, opt Options) string {
+			tab, err := FaultMatrix(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tab.String()
+		}},
+		{"ablate-pruning", func(t *testing.T, opt Options) string {
+			return AblatePruning(opt).String()
+		}},
+		{"diskbound", func(t *testing.T, opt Options) string {
+			return renderedSeries(t, DiskBound(opt))
+		}},
+		{"apache", func(t *testing.T, opt Options) string {
+			return renderedSeries(t, Apache(opt))
+		}},
+		{"tail", func(t *testing.T, opt Options) string {
+			return TailLatency(opt).String()
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			serial := tc.render(t, detOpts(1))
+			again := tc.render(t, detOpts(1))
+			if serial != again {
+				t.Fatalf("two serial runs with the same seed differ:\n--- first ---\n%s--- second ---\n%s", serial, again)
+			}
+			par := tc.render(t, detOpts(4))
+			if par != serial {
+				t.Fatalf("parallel=4 output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, par)
+			}
+		})
+	}
+}
+
+// Different seeds must actually produce different simulations — otherwise
+// the byte-identical assertions above would pass vacuously on a driver
+// that ignores its options.
+func TestSweepOutputDependsOnSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	a := detOpts(2)
+	b := detOpts(2)
+	b.Seed = 8
+	outA := renderedSeries(t, Overload(a))
+	outB := renderedSeries(t, Overload(b))
+	if outA == outB {
+		t.Fatal("changing the seed did not change the rendered output")
+	}
+}

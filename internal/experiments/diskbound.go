@@ -21,15 +21,20 @@ var DiskBoundPoints = []int{0, 2, 4, 8, 12, 16}
 // client waits behind every queued low-priority read.
 func DiskBound(opt Options) []*metrics.Series {
 	opt = opt.withDefaults(2*sim.Second, 10*sim.Second)
+	modes := []kernel.Mode{kernel.ModeUnmodified, kernel.ModeRC}
+	np := len(DiskBoundPoints)
+	vals := runPoints(opt.Parallel, len(modes)*np, func(i int) float64 {
+		return diskBoundPoint(modes[i/np], DiskBoundPoints[i%np], opt)
+	})
 	var out []*metrics.Series
-	for _, mode := range []kernel.Mode{kernel.ModeUnmodified, kernel.ModeRC} {
+	for mi, mode := range modes {
 		name := "Unmodified (FIFO disk)"
 		if mode == kernel.ModeRC {
 			name = "Resource containers (priority disk)"
 		}
 		s := &metrics.Series{Name: name}
-		for _, n := range DiskBoundPoints {
-			s.Append(float64(n), diskBoundPoint(mode, n, opt))
+		for pi, n := range DiskBoundPoints {
+			s.Append(float64(n), vals[mi*np+pi])
 		}
 		out = append(out, s)
 	}

@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"runtime"
+
 	"rescon/internal/fault"
 	"rescon/internal/httpsim"
 	"rescon/internal/kernel"
@@ -38,6 +40,11 @@ type Options struct {
 	// diagnostic. On by default in -short test runs; rcbench enables it
 	// with -check.
 	Invariants bool
+	// Parallel is the number of worker goroutines sweep drivers fan
+	// independent data points across (0 = GOMAXPROCS, 1 = serial). Each
+	// point builds its own engine and kernel from its own seed, so the
+	// rendered output is byte-identical at any parallelism.
+	Parallel int
 }
 
 // Defaults fills in zero fields.
@@ -50,6 +57,9 @@ func (o Options) withDefaults(warmup, window sim.Duration) Options {
 	}
 	if o.Window == 0 {
 		o.Window = window
+	}
+	if o.Parallel == 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

@@ -52,11 +52,15 @@ const (
 // file, one request per connection.
 func Fig11(opt Options) []*metrics.Series {
 	opt = opt.withDefaults(2*sim.Second, 10*sim.Second)
+	np := len(Fig11Points)
+	vals := runPoints(opt.Parallel, len(fig11Systems)*np, func(i int) float64 {
+		return fig11Point(fig11Systems[i/np], Fig11Points[i%np], opt)
+	})
 	var out []*metrics.Series
-	for _, sys := range fig11Systems {
+	for si, sys := range fig11Systems {
 		s := &metrics.Series{Name: sys.name}
-		for _, n := range Fig11Points {
-			s.Append(float64(n), fig11Point(sys, n, opt))
+		for pi, n := range Fig11Points {
+			s.Append(float64(n), vals[si*np+pi])
 		}
 		out = append(out, s)
 	}

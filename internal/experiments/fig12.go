@@ -42,14 +42,20 @@ type Fig12Result struct {
 // number of concurrent 2-second CGI requests grows, under four systems.
 func Fig12(opt Options) *Fig12Result {
 	opt = opt.withDefaults(5*sim.Second, 30*sim.Second)
+	np := len(Fig12Points)
+	type pair struct{ rate, share float64 }
+	vals := runPoints(opt.Parallel, len(fig12Systems)*np, func(i int) pair {
+		r, s := fig12Point(fig12Systems[i/np], Fig12Points[i%np], opt)
+		return pair{rate: r, share: s}
+	})
 	res := &Fig12Result{}
-	for _, sys := range fig12Systems {
+	for si, sys := range fig12Systems {
 		tput := &metrics.Series{Name: sys.name}
 		share := &metrics.Series{Name: sys.name}
-		for _, n := range Fig12Points {
-			r, s := fig12Point(sys, n, opt)
-			tput.Append(float64(n), r)
-			share.Append(float64(n), s)
+		for pi, n := range Fig12Points {
+			v := vals[si*np+pi]
+			tput.Append(float64(n), v.rate)
+			share.Append(float64(n), v.share)
 		}
 		res.Throughput = append(res.Throughput, tput)
 		res.CGIShare = append(res.CGIShare, share)

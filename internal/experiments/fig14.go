@@ -49,11 +49,15 @@ func Fig14WithLRP(opt Options) []*metrics.Series {
 
 func fig14Run(systems []fig14System, rates []float64, opt Options) []*metrics.Series {
 	opt = opt.withDefaults(2*sim.Second, 5*sim.Second)
+	np := len(rates)
+	vals := runPoints(opt.Parallel, len(systems)*np, func(i int) float64 {
+		return fig14Point(systems[i/np], sim.Rate(rates[i%np]), opt)
+	})
 	var out []*metrics.Series
-	for _, sys := range systems {
+	for si, sys := range systems {
 		s := &metrics.Series{Name: sys.name}
-		for _, r := range rates {
-			s.Append(r/1000, fig14Point(sys, sim.Rate(r), opt))
+		for pi, r := range rates {
+			s.Append(r/1000, vals[si*np+pi])
 		}
 		out = append(out, s)
 	}

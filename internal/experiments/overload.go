@@ -21,11 +21,16 @@ var OverloadRates = []float64{1000, 2000, 3000, 4000, 6000, 8000, 10000}
 // excess load at early demultiplexing and hold peak throughput ([15]).
 func Overload(opt Options) []*metrics.Series {
 	opt = opt.withDefaults(2*sim.Second, 5*sim.Second)
+	modes := []kernel.Mode{kernel.ModeUnmodified, kernel.ModeLRP, kernel.ModeRC}
+	np := len(OverloadRates)
+	vals := runPoints(opt.Parallel, len(modes)*np, func(i int) float64 {
+		return overloadPoint(modes[i/np], sim.Rate(OverloadRates[i%np]), opt)
+	})
 	var out []*metrics.Series
-	for _, mode := range []kernel.Mode{kernel.ModeUnmodified, kernel.ModeLRP, kernel.ModeRC} {
+	for mi, mode := range modes {
 		s := &metrics.Series{Name: mode.String() + " System"}
-		for _, rate := range OverloadRates {
-			s.Append(rate, overloadPoint(mode, sim.Rate(rate), opt))
+		for pi, rate := range OverloadRates {
+			s.Append(rate, vals[mi*np+pi])
 		}
 		out = append(out, s)
 	}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runPoints evaluates n independent data points, fanning them across up
+// to parallel worker goroutines, and returns the results in point order.
+//
+// This is the one concurrent component of the experiment harness, and it
+// is safe only because of a structural property every caller must keep:
+// fn(i) builds its own sim.Engine and kernel from the point's parameters
+// and shares no mutable state with any other point. Workers pull point
+// indices from an atomic counter (so slow points do not convoy behind a
+// static partition) and write each result to its own slot, which makes
+// the output independent of execution interleaving: runPoints(1, ...)
+// and runPoints(8, ...) return identical slices.
+func runPoints[T any](parallel, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if parallel <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	workers := parallel
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// runPointsErr is runPoints for point functions that can fail. All points
+// run to completion; the error returned is the failing point with the
+// lowest index, so the reported failure is deterministic even when
+// several points fail in the same sweep.
+func runPointsErr[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
+	type res struct {
+		v   T
+		err error
+	}
+	rs := runPoints(parallel, n, func(i int) res {
+		v, err := fn(i)
+		return res{v: v, err: err}
+	})
+	out := make([]T, n)
+	for i, r := range rs {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out[i] = r.v
+	}
+	return out, nil
+}

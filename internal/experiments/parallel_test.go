@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunPointsOrderAndCoverage(t *testing.T) {
+	for _, par := range []int{1, 2, 4, 17} {
+		var calls atomic.Int64
+		got := runPoints(par, 10, func(i int) int {
+			calls.Add(1)
+			return i * i
+		})
+		if calls.Load() != 10 {
+			t.Fatalf("par=%d: fn called %d times, want 10", par, calls.Load())
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("par=%d: out[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunPointsZeroPoints(t *testing.T) {
+	got := runPoints(4, 0, func(i int) int { panic("must not be called") })
+	if len(got) != 0 {
+		t.Fatalf("len = %d, want 0", len(got))
+	}
+}
+
+func TestRunPointsErrReturnsLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	_, err := runPointsErr(4, 8, func(i int) (int, error) {
+		switch i {
+		case 2:
+			return 0, errLow
+		case 6:
+			return 0, errHigh
+		}
+		return i, nil
+	})
+	if err != errLow {
+		t.Fatalf("err = %v, want the lowest-index failure", err)
+	}
+	out, err := runPointsErr(4, 8, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

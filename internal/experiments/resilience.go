@@ -57,17 +57,15 @@ func ResilienceCurves(opt Options) ([]*metrics.Series, error) {
 	opt = opt.withDefaults(2*sim.Second, 5*sim.Second)
 	policed := &metrics.Series{Name: "RC policed"}
 	unpoliced := &metrics.Series{Name: "RC unpoliced"}
-	for _, loss := range ResilienceLossPoints {
-		for _, s := range []struct {
-			police bool
-			series *metrics.Series
-		}{{true, policed}, {false, unpoliced}} {
-			rate, err := resiliencePoint(opt, loss/100, s.police)
-			if err != nil {
-				return nil, err
-			}
-			s.series.Append(loss, rate)
-		}
+	vals, err := runPointsErr(opt.Parallel, 2*len(ResilienceLossPoints), func(i int) (float64, error) {
+		return resiliencePoint(opt, ResilienceLossPoints[i/2]/100, i%2 == 0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, loss := range ResilienceLossPoints {
+		policed.Append(loss, vals[2*pi])
+		unpoliced.Append(loss, vals[2*pi+1])
 	}
 	return []*metrics.Series{policed, unpoliced}, nil
 }
@@ -100,7 +98,7 @@ func FaultMatrix(opt Options) (*metrics.Table, error) {
 	t := metrics.NewTable(
 		"Resilience: goodput under injected faults (RC, policed)",
 		"Scenario", "Goodput (req/s)", "Mean latency (ms)", "Timeouts", "Detail")
-	for _, sc := range []struct {
+	scenarios := []struct {
 		name string
 		run  func(Options) (faultRow, error)
 	}{
@@ -113,12 +111,15 @@ func FaultMatrix(opt Options) (*metrics.Table, error) {
 		}},
 		{"slow-loris (128 held conns)", slowLorisScenario},
 		{"worker crash-restart (MTBF 1s)", crashScenario},
-	} {
-		row, err := sc.run(opt)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(sc.name, row.goodput, row.latencyMs, row.timeouts, row.detail)
+	}
+	rows, err := runPointsErr(opt.Parallel, len(scenarios), func(i int) (faultRow, error) {
+		return scenarios[i].run(opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sc := range scenarios {
+		t.AddRow(sc.name, rows[i].goodput, rows[i].latencyMs, rows[i].timeouts, rows[i].detail)
 	}
 	return t, nil
 }

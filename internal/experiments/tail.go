@@ -20,8 +20,11 @@ func TailLatency(opt Options) *metrics.Table {
 	opt = opt.withDefaults(2*sim.Second, 20*sim.Second)
 	t := metrics.NewTable("Extension: premium-client latency distribution at 35 low-priority clients (ms)",
 		"System", "mean", "p95", "p99", "max")
-	for _, sys := range fig11Systems {
-		s := tailPoint(sys, 35, opt)
+	sums := runPoints(opt.Parallel, len(fig11Systems), func(i int) *metrics.Summary {
+		return tailPoint(fig11Systems[i], 35, opt)
+	})
+	for i, sys := range fig11Systems {
+		s := sums[i]
 		t.AddRow(sys.name, s.Mean(), s.Quantile(0.95), s.Quantile(0.99), s.Max())
 	}
 	return t

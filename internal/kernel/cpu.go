@@ -28,7 +28,7 @@ type running struct {
 	th      *Thread
 	item    *WorkItem
 	started sim.Time
-	ev      *sim.Event
+	ev      sim.Event
 }
 
 // CPU models one processor: one thread slice at a time, preempted (on
@@ -43,7 +43,7 @@ type CPU struct {
 	// entered; baseline interrupt work is (mis)charged to it.
 	preempted *sched.Entity
 	cur       *running
-	retryEv   *sim.Event
+	retryEv   sim.Event
 	busy      sim.Duration
 }
 
@@ -253,11 +253,9 @@ func (c *CPU) completeSlice(r *running, slice sim.Duration) {
 // scheduleRetry arms a dispatch retry at t (for throttled threads whose
 // cap budget replenishes at the next window).
 func (c *CPU) scheduleRetry(t sim.Time) {
-	if c.retryEv != nil && c.retryEv.Pending() && c.retryEv.At() <= t {
+	if c.retryEv.Pending() && c.retryEv.At() <= t {
 		return
 	}
-	if c.retryEv != nil {
-		c.retryEv.Cancel()
-	}
+	c.retryEv.Cancel()
 	c.retryEv = c.k.eng.At(t, func() { c.k.dispatchAll() })
 }

@@ -1,0 +1,45 @@
+package netsim
+
+import "testing"
+
+// Steady-state queue traffic — including full drains, the common case for
+// protocol queues between bursts — must not reallocate the ring buffer.
+func TestQueuePushPopNoAllocs(t *testing.T) {
+	q := NewQueue[int](1024)
+	q.Push(0)
+	q.Pop() // drained: the small buffer must be retained
+	allocs := testing.AllocsPerRun(200, func() {
+		q.Push(1)
+		q.Push(2)
+		if _, ok := q.Pop(); !ok {
+			t.Fatal("pop failed")
+		}
+		if _, ok := q.Pop(); !ok {
+			t.Fatal("pop failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("push/pop cycle allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Large backlogs must still be released on drain so a transient spike
+// cannot pin its worst-case buffer.
+func TestQueueReleasesLargeBufferOnDrain(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < keepCap*4; i++ {
+		q.Push(i)
+	}
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	if q.buf != nil {
+		t.Fatalf("drained queue retains %d-slot buffer, want released (> keepCap=%d)", len(q.buf), keepCap)
+	}
+	// A small buffer is kept.
+	q.Push(1)
+	q.Pop()
+	if q.buf == nil {
+		t.Fatal("drained queue released a small buffer; steady-state traffic would reallocate every cycle")
+	}
+}

@@ -76,13 +76,20 @@ func (q *Queue[T]) Pop() (T, bool) {
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
 	if q.n == 0 {
-		// Release the backing array so a drained queue cannot pin the
-		// memory of its worst-case backlog.
-		q.buf = nil
+		// Release a large backing array so a drained queue cannot pin the
+		// memory of its worst-case backlog. Small buffers are kept: queues
+		// that oscillate between empty and a few items (the steady-state
+		// pattern for protocol queues) must not reallocate on every cycle.
+		if len(q.buf) > keepCap {
+			q.buf = nil
+		}
 		q.head = 0
 	}
 	return v, true
 }
+
+// keepCap is the largest backing array a drained queue retains.
+const keepCap = 64
 
 // Peek returns the oldest item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {

@@ -24,6 +24,7 @@ package rc
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"rescon/internal/sim"
 )
@@ -178,6 +179,52 @@ type Container struct {
 	// its bookkeeping (decayed usage, budget) here so that the rc package
 	// need not know about any particular scheduling policy.
 	SchedState any
+
+	// chain caches the ancestor path (the container itself first, then
+	// each parent up to the root). It is rebuilt lazily and invalidated —
+	// for the whole subtree — whenever the topology changes, so the
+	// accounting hot path (ChargeCPU and friends, called once per CPU
+	// slice and per packet) walks a slice instead of chasing parent
+	// pointers.
+	chain []*Container
+
+	// epoch counts changes to anything an ancestor-derived value could
+	// depend on: this container's (or any ancestor's) attributes, parent
+	// link, or destruction. Schedulers key their per-container caches
+	// (effective cap budgets, share products) on it.
+	epoch uint64
+}
+
+// Epoch returns the container's cache-invalidation epoch. It advances
+// whenever the container's attributes or any link on its ancestor path
+// change; cached values derived from the ancestor chain are valid only
+// while the epoch is unchanged.
+func (c *Container) Epoch() uint64 { return c.epoch }
+
+// bumpSubtree invalidates ancestor-derived caches for c and every
+// descendant. Called on topology and attribute changes, which are
+// control-plane operations — the cost is a subtree walk, paid only when
+// the hierarchy actually changes.
+func (c *Container) bumpSubtree() {
+	c.chain = nil
+	c.epoch++
+	for _, kid := range c.children {
+		kid.bumpSubtree()
+	}
+}
+
+// Ancestors returns the container's ancestor path — the container itself
+// first, then each parent up to the root — as a cached slice. The caller
+// must not modify or retain it past the next topology change.
+func (c *Container) Ancestors() []*Container {
+	if c.chain == nil {
+		chain := make([]*Container, 0, c.Depth()+1)
+		for p := c; p != nil; p = p.parent {
+			chain = append(chain, p)
+		}
+		c.chain = chain
+	}
+	return c.chain
 }
 
 // New creates a container of the given class under parent (nil for a
@@ -207,12 +254,15 @@ func MustNew(parent *Container, class Class, name string, attrs Attributes) *Con
 	return c
 }
 
-var idCounter uint64
+// idCounter is the only process-global state in the simulation: container
+// IDs must be unique across every container ever created, including when
+// the experiment harness runs many independent simulations concurrently,
+// so it is advanced atomically. IDs are identity, never ordering — no
+// scheduling or rendering decision depends on their numeric values — so
+// cross-simulation interleaving does not perturb results.
+var idCounter atomic.Uint64
 
-func nextID() uint64 {
-	idCounter++
-	return idCounter
-}
+func nextID() uint64 { return idCounter.Add(1) }
 
 // ID returns the container's unique identifier.
 func (c *Container) ID() uint64 { return c.id }
@@ -278,6 +328,7 @@ func (c *Container) SetParent(parent *Container) error {
 	if parent != nil {
 		parent.children = append(parent.children, c)
 	}
+	c.bumpSubtree()
 	return nil
 }
 
@@ -323,11 +374,14 @@ func (c *Container) Release() error {
 	}
 	c.destroyed = true
 	c.detach()
+	c.bumpSubtree()
 	// Children of a destroyed parent get "no parent".
-	for _, kid := range c.children {
-		kid.parent = nil
-	}
+	kids := c.children
 	c.children = nil
+	for _, kid := range kids {
+		kid.parent = nil
+		kid.bumpSubtree()
+	}
 	return nil
 }
 
@@ -355,6 +409,7 @@ func (c *Container) SetAttributes(attrs Attributes) error {
 		}
 	}
 	c.attrs = attrs
+	c.bumpSubtree()
 	return nil
 }
 
@@ -365,23 +420,26 @@ func (c *Container) Usage() Usage { return c.usage }
 // ChargeCPU adds CPU time of the given kind to the container and all of
 // its ancestors. Charging a destroyed container is a silent no-op — in the
 // kernel, in-flight work can complete after the last descriptor closes.
+// The walk uses the precomputed ancestor slice: ChargeCPU runs once per
+// scheduled CPU slice, so it must not re-derive the path each time.
 func (c *Container) ChargeCPU(kind CPUKind, d sim.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("rc: negative CPU charge %v", d))
 	}
-	for p := c; p != nil; p = p.parent {
-		switch kind {
-		case UserCPU:
+	if kind == UserCPU {
+		for _, p := range c.Ancestors() {
 			p.usage.CPUUser += d
-		default:
-			p.usage.CPUKernel += d
 		}
+		return
+	}
+	for _, p := range c.Ancestors() {
+		p.usage.CPUKernel += d
 	}
 }
 
 // ChargePacketIn accounts one received packet of the given size.
 func (c *Container) ChargePacketIn(bytes int) {
-	for p := c; p != nil; p = p.parent {
+	for _, p := range c.Ancestors() {
 		p.usage.PacketsIn++
 		p.usage.BytesIn += uint64(bytes)
 	}
@@ -389,7 +447,7 @@ func (c *Container) ChargePacketIn(bytes int) {
 
 // ChargePacketOut accounts one transmitted packet of the given size.
 func (c *Container) ChargePacketOut(bytes int) {
-	for p := c; p != nil; p = p.parent {
+	for _, p := range c.Ancestors() {
 		p.usage.PacketsOut++
 		p.usage.BytesOut += uint64(bytes)
 	}
@@ -397,7 +455,7 @@ func (c *Container) ChargePacketOut(bytes int) {
 
 // ChargeDrop accounts one dropped packet.
 func (c *Container) ChargeDrop() {
-	for p := c; p != nil; p = p.parent {
+	for _, p := range c.Ancestors() {
 		p.usage.PacketsDropped++
 	}
 }
@@ -405,7 +463,7 @@ func (c *Container) ChargeDrop() {
 // ChargeDiskRead accounts one disk read of the given size and device
 // occupancy on behalf of the container (§4.4).
 func (c *Container) ChargeDiskRead(bytes int, busy sim.Duration) {
-	for p := c; p != nil; p = p.parent {
+	for _, p := range c.Ancestors() {
 		p.usage.DiskReads++
 		p.usage.DiskBytes += uint64(bytes)
 		p.usage.DiskTime += busy

@@ -24,6 +24,15 @@ type cstate struct {
 	decayed   float64      // decayed CPU usage of this leaf, in seconds
 	lastDecay sim.Time     // last decay application
 	snapshot  sim.Duration // subtree CPU usage at the start of the window
+
+	// Cached attribute aggregates over the ancestor chain, so the Pick
+	// path does not recompute O(depth²) products on every evaluation.
+	// Invalidated by rc's epoch counter, which bumps on any attribute or
+	// topology change in the subtree.
+	cacheValid bool
+	cacheEpoch uint64
+	capBudget  sim.Duration // own-limit window budget; -1 when no own limit
+	effShare   float64      // guaranteed machine fraction (0 when no own share)
 }
 
 // ContainerScheduler schedules threads by the attributes and usage of the
@@ -71,7 +80,7 @@ func (s *ContainerScheduler) Register(e *Entity) { s.set.register(e) }
 func (s *ContainerScheduler) Unregister(e *Entity) { s.set.unregister(e) }
 
 // SetRunnable implements Scheduler.
-func (s *ContainerScheduler) SetRunnable(e *Entity, runnable bool) { e.runnable = runnable }
+func (s *ContainerScheduler) SetRunnable(e *Entity, runnable bool) { s.set.setRunnable(e, runnable) }
 
 // Quantum implements Scheduler.
 func (s *ContainerScheduler) Quantum() sim.Duration { return s.quantum }
@@ -126,54 +135,58 @@ func (s *ContainerScheduler) windowUsage(c *rc.Container) sim.Duration {
 	return u
 }
 
-// capFrac returns the product of the Limit fractions of c and its
-// ancestors — the subtree's effective ceiling as a machine fraction
-// (1.0 when unlimited).
-func capFrac(c *rc.Container) float64 {
-	f := 1.0
-	for p := c; p != nil; p = p.Parent() {
-		if l := p.Attributes().Limit; l > 0 {
-			f *= l
-		}
+// attrs returns c's scheduler state with the cached attribute aggregates
+// up to date. The products are recomputed only when the container's epoch
+// changes (any attribute or topology change in the subtree bumps it);
+// otherwise every throttle/deficit check on the Pick path reads two cached
+// scalars. The accumulation order deliberately matches the original
+// per-call walks (leaf to root) so the cached floats are bit-identical to
+// what an uncached evaluation would produce.
+func (s *ContainerScheduler) attrs(c *rc.Container) *cstate {
+	st := s.state(c)
+	epoch := c.Epoch()
+	if st.cacheValid && st.cacheEpoch == epoch {
+		return st
 	}
-	return f
+	chain := c.Ancestors()
+	st.capBudget = -1
+	if l := c.Attributes().Limit; l > 0 {
+		parentFrac := 1.0
+		for _, p := range chain[1:] {
+			if pl := p.Attributes().Limit; pl > 0 {
+				parentFrac *= pl
+			}
+		}
+		st.capBudget = sim.Duration(l * parentFrac * float64(s.Window) * float64(s.Capacity))
+	}
+	st.effShare = 0
+	if own := c.Attributes().Share; own > 0 {
+		f := own
+		for _, p := range chain[1:] {
+			if sh := p.Attributes().Share; sh > 0 {
+				f *= sh
+			}
+		}
+		st.effShare = f
+	}
+	st.cacheEpoch = epoch
+	st.cacheValid = true
+	return st
 }
 
 // throttled reports whether c or any ancestor has exhausted its CPU limit
 // budget for the current window (§4.1 resource limits; §5.6 CGI caps).
 func (s *ContainerScheduler) throttled(c *rc.Container) bool {
-	for p := c; p != nil; p = p.Parent() {
-		l := p.Attributes().Limit
-		if l <= 0 {
+	for _, p := range c.Ancestors() {
+		st := s.attrs(p)
+		if st.capBudget < 0 {
 			continue
 		}
-		parentFrac := 1.0
-		if pp := p.Parent(); pp != nil {
-			parentFrac = capFrac(pp)
-		}
-		budget := sim.Duration(l * parentFrac * float64(s.Window) * float64(s.Capacity))
-		if s.windowUsage(p) >= budget {
+		if s.windowUsage(p) >= st.capBudget {
 			return true
 		}
 	}
 	return false
-}
-
-// effShare returns the subtree's guaranteed machine fraction: the product
-// of Share fractions along the ancestor chain (0 when c itself has no
-// guarantee).
-func effShare(c *rc.Container) float64 {
-	own := c.Attributes().Share
-	if own <= 0 {
-		return 0
-	}
-	f := own
-	for p := c.Parent(); p != nil; p = p.Parent() {
-		if sh := p.Attributes().Share; sh > 0 {
-			f *= sh
-		}
-	}
-	return f
 }
 
 // pathDeficit returns the largest positive guarantee deficit on c's
@@ -182,8 +195,8 @@ func effShare(c *rc.Container) float64 {
 func (s *ContainerScheduler) pathDeficit(c *rc.Container, now sim.Time) sim.Duration {
 	elapsed := now.Sub(s.windowStart)
 	var max sim.Duration
-	for p := c; p != nil; p = p.Parent() {
-		sh := effShare(p)
+	for _, p := range c.Ancestors() {
+		sh := s.attrs(p).effShare
 		if sh <= 0 {
 			continue
 		}
@@ -312,8 +325,8 @@ func (s *ContainerScheduler) Pick(now sim.Time) *Entity {
 	var best *Entity
 	bestClass := classNone
 	var bestKey float64
-	for _, e := range s.set.entities {
-		if !e.runnable || e.onCPU {
+	for _, e := range s.set.runnable {
+		if e.onCPU {
 			continue
 		}
 		s.prune(e, now)
@@ -339,8 +352,8 @@ func (s *ContainerScheduler) Pick(now sim.Time) *Entity {
 func (s *ContainerScheduler) lotteryNormal(now sim.Time) *Entity {
 	var cands []*Entity
 	var tickets []float64
-	for _, e := range s.set.entities {
-		if !e.runnable || e.onCPU {
+	for _, e := range s.set.runnable {
+		if e.onCPU {
 			continue
 		}
 		cls, _ := s.evaluate(e, now)
@@ -460,16 +473,12 @@ func (s *ContainerScheduler) NextRelease(now sim.Time) (sim.Time, bool) {
 func (s *ContainerScheduler) SliceBudget(c *rc.Container, now sim.Time) sim.Duration {
 	s.rollWindow(now)
 	budget := s.quantum
-	for p := c; p != nil; p = p.Parent() {
-		l := p.Attributes().Limit
-		if l <= 0 {
+	for _, p := range c.Ancestors() {
+		st := s.attrs(p)
+		if st.capBudget < 0 {
 			continue
 		}
-		parentFrac := 1.0
-		if pp := p.Parent(); pp != nil {
-			parentFrac = capFrac(pp)
-		}
-		rem := sim.Duration(l*parentFrac*float64(s.Window)*float64(s.Capacity)) - s.windowUsage(p)
+		rem := st.capBudget - s.windowUsage(p)
 		if rem < budget {
 			budget = rem
 		}

@@ -43,7 +43,7 @@ func (s *DecayScheduler) Register(e *Entity) {
 func (s *DecayScheduler) Unregister(e *Entity) { s.set.unregister(e) }
 
 // SetRunnable implements Scheduler.
-func (s *DecayScheduler) SetRunnable(e *Entity, runnable bool) { e.runnable = runnable }
+func (s *DecayScheduler) SetRunnable(e *Entity, runnable bool) { s.set.setRunnable(e, runnable) }
 
 func (p *ProcPrincipal) decay(now sim.Time) {
 	if now <= p.lastDecay {
@@ -66,8 +66,8 @@ func (p *ProcPrincipal) key(now sim.Time) float64 {
 func (s *DecayScheduler) Pick(now sim.Time) *Entity {
 	var best *Entity
 	var bestKey float64
-	for _, e := range s.set.entities {
-		if !e.runnable || e.onCPU {
+	for _, e := range s.set.runnable {
+		if e.onCPU {
 			continue
 		}
 		k := e.Proc.key(now)

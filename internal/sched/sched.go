@@ -23,6 +23,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"rescon/internal/rc"
 	"rescon/internal/sim"
@@ -70,6 +71,7 @@ type Entity struct {
 	onCPU   bool
 	lastRun sim.Time
 	seq     uint64 // registration order, deterministic tie-break
+	setIdx  int    // position in entitySet.entities; -1 when unregistered
 
 	// binding is the scheduler binding (§4.3): the containers the thread
 	// has recently had a resource binding to, with last-bound times.
@@ -165,23 +167,72 @@ type Scheduler interface {
 	NextRelease(now sim.Time) (sim.Time, bool)
 }
 
-// entitySet is the shared registered-entity bookkeeping.
+// entitySet is the shared registered-entity bookkeeping. Alongside the
+// full membership slice it maintains the runnable subset, kept ordered by
+// registration seq: Pick iterates only runnable entities, and the seq
+// order reproduces exactly the candidate order of a scan over the full
+// set, which the near-equal-key tie-break depends on.
 type entitySet struct {
 	entities []*Entity
+	runnable []*Entity // runnable entities, ascending by seq
 	nextSeq  uint64
 }
 
 func (s *entitySet) register(e *Entity) {
 	e.seq = s.nextSeq
 	s.nextSeq++
+	e.setIdx = len(s.entities)
 	s.entities = append(s.entities, e)
+	if e.runnable {
+		e.runnable = false
+		s.setRunnable(e, true)
+	}
 }
 
+// contains reports whether e is currently registered in this set.
+func (s *entitySet) contains(e *Entity) bool {
+	i := e.setIdx
+	return i >= 0 && i < len(s.entities) && s.entities[i] == e
+}
+
+// unregister removes e in O(1) by swapping the last entity into its slot.
+// Membership order does not matter — scheduling order is defined by the
+// seq-sorted runnable list, never by entities order.
 func (s *entitySet) unregister(e *Entity) {
-	for i, x := range s.entities {
-		if x == e {
-			s.entities = append(s.entities[:i], s.entities[i+1:]...)
-			return
-		}
+	if !s.contains(e) {
+		return
+	}
+	s.setRunnable(e, false)
+	i := e.setIdx
+	last := len(s.entities) - 1
+	s.entities[i] = s.entities[last]
+	s.entities[i].setIdx = i
+	s.entities[last] = nil
+	s.entities = s.entities[:last]
+	e.setIdx = -1
+}
+
+// setRunnable maintains the runnable flag and, for registered entities,
+// the seq-ordered runnable list. Redundant transitions are no-ops (the
+// kernel calls SetRunnable idempotently).
+func (s *entitySet) setRunnable(e *Entity, v bool) {
+	if e.runnable == v {
+		return
+	}
+	e.runnable = v
+	if !s.contains(e) {
+		return
+	}
+	i := sort.Search(len(s.runnable), func(i int) bool { return s.runnable[i].seq >= e.seq })
+	if v {
+		s.runnable = append(s.runnable, nil)
+		copy(s.runnable[i+1:], s.runnable[i:])
+		s.runnable[i] = e
+		return
+	}
+	if i < len(s.runnable) && s.runnable[i] == e {
+		copy(s.runnable[i:], s.runnable[i+1:])
+		s.runnable[len(s.runnable)-1] = nil
+		s.runnable = s.runnable[:len(s.runnable)-1]
 	}
 }

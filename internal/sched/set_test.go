@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"testing"
+
+	"rescon/internal/sim"
+)
+
+func newTestEntities(s Scheduler, n int) []*Entity {
+	out := make([]*Entity, n)
+	for i := 0; i < n; i++ {
+		e := &Entity{ID: uint64(i + 1), Proc: NewProcPrincipal("p")}
+		s.Register(e)
+		out[i] = e
+	}
+	return out
+}
+
+// unregister is O(1) swap-remove; this pins the bookkeeping it relies on:
+// setIdx stays consistent and the runnable list keeps seq order no matter
+// which slot was vacated.
+func TestEntitySetUnregisterBookkeeping(t *testing.T) {
+	s := NewDecayScheduler()
+	ents := newTestEntities(s, 8)
+	for _, e := range ents {
+		s.SetRunnable(e, true)
+	}
+	// Remove from the middle, the head, and the tail.
+	for _, victim := range []*Entity{ents[3], ents[0], ents[7]} {
+		s.Unregister(victim)
+		if victim.setIdx != -1 {
+			t.Fatalf("unregistered entity %d keeps setIdx %d", victim.ID, victim.setIdx)
+		}
+		for i, e := range s.set.entities {
+			if e.setIdx != i {
+				t.Fatalf("entities[%d].setIdx = %d after removing %d", i, e.setIdx, victim.ID)
+			}
+		}
+		for i := 1; i < len(s.set.runnable); i++ {
+			if s.set.runnable[i-1].seq >= s.set.runnable[i].seq {
+				t.Fatalf("runnable list out of seq order after removing %d", victim.ID)
+			}
+		}
+		for _, e := range s.set.runnable {
+			if e == victim {
+				t.Fatalf("unregistered entity %d still in runnable list", victim.ID)
+			}
+		}
+	}
+	if got, want := len(s.set.entities), 5; got != want {
+		t.Fatalf("entities after removals: %d, want %d", got, want)
+	}
+	// Double unregister is a no-op.
+	s.Unregister(ents[3])
+	if len(s.set.entities) != 5 {
+		t.Fatal("double unregister changed the set")
+	}
+	// The survivors still schedule.
+	if e := s.Pick(sim.Time(0)); e == nil {
+		t.Fatal("no entity picked after removals")
+	}
+}
+
+// The runnable list must mirror the runnable flags through arbitrary
+// toggles, and Pick must consider candidates in registration order — the
+// property the tie-break in less() depends on.
+func TestRunnableListTracksFlags(t *testing.T) {
+	s := NewDecayScheduler()
+	ents := newTestEntities(s, 6)
+	toggle := []struct {
+		idx int
+		val bool
+	}{
+		{0, true}, {2, true}, {4, true}, {2, false}, {2, true},
+		{2, true}, // redundant set: must not duplicate the entry
+		{0, false}, {5, true}, {0, true},
+	}
+	want := map[uint64]bool{}
+	for _, op := range toggle {
+		s.SetRunnable(ents[op.idx], op.val)
+		want[ents[op.idx].ID] = op.val
+	}
+	var got []uint64
+	for _, e := range s.set.runnable {
+		got = append(got, e.ID)
+	}
+	var wantIDs []uint64
+	for _, e := range ents {
+		if want[e.ID] {
+			wantIDs = append(wantIDs, e.ID)
+		}
+	}
+	if len(got) != len(wantIDs) {
+		t.Fatalf("runnable list %v, want %v", got, wantIDs)
+	}
+	for i := range got {
+		if got[i] != wantIDs[i] {
+			t.Fatalf("runnable list %v, want %v (seq order)", got, wantIDs)
+		}
+	}
+}
+
+// SetRunnable before Register must not corrupt the set: the flag is
+// honored when the entity is later registered.
+func TestSetRunnableBeforeRegister(t *testing.T) {
+	s := NewDecayScheduler()
+	e := &Entity{ID: 1, Proc: NewProcPrincipal("p")}
+	s.SetRunnable(e, true)
+	s.Register(e)
+	if len(s.set.runnable) != 1 || s.set.runnable[0] != e {
+		t.Fatalf("pre-registration runnable flag lost: %v", s.set.runnable)
+	}
+	if got := s.Pick(sim.Time(0)); got != e {
+		t.Fatalf("Pick = %v, want the pre-marked entity", got)
+	}
+}

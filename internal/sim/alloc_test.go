@@ -1,0 +1,80 @@
+package sim
+
+import "testing"
+
+// Allocation guards for the event hot path: once the free list is warm,
+// scheduling and firing events must not touch the heap. These pin the
+// numbers so a regression (a new closure, a lost pooling path) fails
+// loudly instead of silently re-inflating the inner loop.
+
+func TestAfterStepNoAllocs(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	// Warm the free list and the heap slice.
+	e.After(Millisecond, fn)
+	e.Step()
+	allocs := testing.AllocsPerRun(200, func() {
+		e.After(Millisecond, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("After+Step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestCancelNoAllocs(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+	e.After(Millisecond, fn).Cancel()
+	allocs := testing.AllocsPerRun(200, func() {
+		e.After(Millisecond, fn).Cancel()
+	})
+	if allocs != 0 {
+		t.Fatalf("After+Cancel allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// A long-lived ticker must not allocate per firing: Every creates one
+// re-arming closure for the ticker's whole lifetime.
+func TestTickerFiringNoAllocs(t *testing.T) {
+	e := NewEngine(1)
+	ticks := 0
+	tk := e.Every(Millisecond, func() { ticks++ })
+	if !e.Step() {
+		t.Fatal("first tick did not fire")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !e.Step() {
+			t.Fatal("tick did not fire")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ticker firing allocates %.1f objects/op, want 0", allocs)
+	}
+	tk.Stop()
+	if ticks < 201 {
+		t.Fatalf("ticks %d, want at least 201", ticks)
+	}
+}
+
+// Recycled event storage must not resurrect old handles: a handle taken
+// before the storage was reused must stay dead.
+func TestRecycledEventHandleStaysDead(t *testing.T) {
+	e := NewEngine(1)
+	first := e.After(Millisecond, func() {})
+	e.Step()
+	// The free list hands the same storage back for the next event.
+	second := e.After(Millisecond, func() {})
+	if first.Pending() {
+		t.Fatal("fired handle reports pending after storage reuse")
+	}
+	if first.Cancel() {
+		t.Fatal("fired handle cancelled the recycled event")
+	}
+	if !second.Pending() {
+		t.Fatal("live handle lost")
+	}
+	if !second.Cancel() {
+		t.Fatal("live handle failed to cancel")
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -9,66 +8,139 @@ import (
 // virtual time with the engine's clock already advanced.
 type EventFunc func()
 
-// Event is a handle to a scheduled event, usable for cancellation.
-type Event struct {
+// event is the engine-owned representation of a scheduled event. Fired
+// and cancelled events are recycled through the engine's free list, so
+// steady-state scheduling performs no heap allocation; the generation
+// counter keeps recycled storage from resurrecting stale handles.
+type event struct {
 	at     Time
 	seq    uint64 // tie-breaker: FIFO among events at the same instant
 	fn     EventFunc
-	index  int // heap index; -1 once removed
-	dead   bool
+	index  int    // heap index; -1 once removed
+	gen    uint64 // bumped on fire/cancel; handles with an older gen are dead
 	engine *Engine
 }
 
+// Event is a handle to a scheduled event, usable for cancellation. It is
+// a small value, not a pointer: the engine recycles event storage, and
+// the generation captured in the handle distinguishes the event it was
+// issued for from any later reuse. The zero Event behaves like a handle
+// to an event that has already fired.
+type Event struct {
+	e   *event
+	gen uint64
+	at  Time
+}
+
 // At returns the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+func (h Event) At() Time { return h.at }
 
 // Cancel removes the event from the queue. Cancelling an event that has
 // already fired or been cancelled is a no-op. Cancel reports whether the
 // event was actually pending.
-func (e *Event) Cancel() bool {
-	if e.dead || e.index < 0 {
+func (h Event) Cancel() bool {
+	ev := h.e
+	if ev == nil || ev.gen != h.gen || ev.index < 0 {
 		return false
 	}
-	heap.Remove(&e.engine.queue, e.index)
-	e.dead = true
+	ev.engine.queue.remove(ev.index)
+	ev.engine.release(ev)
 	return true
 }
 
 // Pending reports whether the event is still scheduled to fire.
-func (e *Event) Pending() bool { return !e.dead && e.index >= 0 }
+func (h Event) Pending() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.index >= 0
+}
 
-type eventQueue []*Event
+// eventQueue is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than built on container/heap to keep interface boxing and
+// indirect calls out of the simulator's innermost loop.
+type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) {
+
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
 }
-func (q *eventQueue) Pop() any {
+
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && q.less(r, l) {
+			j = r
+		}
+		if !q.less(j, i) {
+			return
+		}
+		q.swap(i, j)
+		i = j
+	}
+}
+
+func (q *eventQueue) push(ev *event) {
+	ev.index = len(*q)
+	*q = append(*q, ev)
+	q.up(ev.index)
+}
+
+func (q *eventQueue) pop() *event {
 	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+	n := len(old) - 1
+	old.swap(0, n)
+	ev := old[n]
+	old[n] = nil
+	ev.index = -1
+	*q = old[:n]
+	(*q).down(0)
+	return ev
+}
+
+// remove deletes the event at heap index i.
+func (q *eventQueue) remove(i int) {
+	old := *q
+	n := len(old) - 1
+	ev := old[i]
+	if i != n {
+		old.swap(i, n)
+	}
+	old[n] = nil
+	ev.index = -1
+	*q = old[:n]
+	if i != n {
+		(*q).down(i)
+		(*q).up(i)
+	}
 }
 
 // Engine is a discrete-event simulator. It is not safe for concurrent use;
 // simulations are single-goroutine by design, which is what makes them
-// deterministic.
+// deterministic. (The experiment harness runs many engines concurrently —
+// one per goroutine — which is safe precisely because engines share no
+// state.)
 type Engine struct {
 	now     Time
 	queue   eventQueue
@@ -76,6 +148,10 @@ type Engine struct {
 	rng     *RNG
 	stopped bool
 	fired   uint64
+	// free is the event recycling list: fired and cancelled events return
+	// here and are handed out again by alloc. It grows to the maximum
+	// number of concurrently pending events and no further.
+	free []*event
 }
 
 // NewEngine returns an engine with the clock at zero and a deterministic
@@ -96,20 +172,43 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// alloc takes an event from the free list, or allocates a fresh one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{engine: e}
+}
+
+// release recycles a fired or cancelled event. The generation bump kills
+// every outstanding handle to it before the storage is reused.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently reorder causality.
-func (e *Engine) At(t Time, fn EventFunc) *Event {
+func (e *Engine) At(t Time, fn EventFunc) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.queue.push(ev)
+	return Event{e: ev, gen: ev.gen, at: t}
 }
 
 // After schedules fn to run d after the current time. Negative delays panic.
-func (e *Engine) After(d Duration, fn EventFunc) *Event {
+func (e *Engine) After(d Duration, fn EventFunc) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -126,11 +225,14 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	ev.dead = true
+	ev := e.queue.pop()
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running: fn may schedule new events, and letting it
+	// reuse this storage immediately keeps the free list tight.
+	e.release(ev)
+	fn()
 	return true
 }
 
@@ -169,7 +271,19 @@ func (e *Engine) Every(period Duration, fn EventFunc) *Ticker {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.arm()
+	// One closure for the ticker's whole lifetime: each firing re-arms
+	// with the same func value, so a long-lived ticker allocates nothing
+	// per tick.
+	t.fire = func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.ev = t.engine.After(t.period, t.fire)
+		}
+	}
+	t.ev = e.After(period, t.fire)
 	return t
 }
 
@@ -178,26 +292,13 @@ type Ticker struct {
 	engine  *Engine
 	period  Duration
 	fn      EventFunc
-	ev      *Event
+	fire    EventFunc
+	ev      Event
 	stopped bool
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.engine.After(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.arm()
-		}
-	})
 }
 
 // Stop cancels all future firings.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.ev.Cancel()
-	}
+	t.ev.Cancel()
 }

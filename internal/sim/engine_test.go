@@ -319,7 +319,7 @@ func TestEngineAgainstReferenceModel(t *testing.T) {
 		e := NewEngine(1)
 		var model []*refEvent
 		var fired []int
-		var handles []*Event
+		var handles []Event
 		seq := 0
 		for op := 0; op < 300; op++ {
 			switch rng.Intn(4) {

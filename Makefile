@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-baseline tier1 ci
+.PHONY: all build vet lint test race bench bench-baseline tier1 ci
 
 all: ci
 
@@ -9,6 +9,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Lint: vet, formatting, and facade doc coverage (every exported symbol
+# of the root rescon package must carry a doc comment).
+lint: vet
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) run ./cmd/checkdocs .
 
 # Fast suite: -short skips the long experiment sweeps but keeps the
 # runtime invariant checker on (the experiments test Options enable it).
@@ -30,4 +37,4 @@ bench-baseline:
 
 tier1: build race
 
-ci: build vet race
+ci: build lint race

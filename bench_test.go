@@ -131,7 +131,7 @@ func benchThroughput(b *testing.B, persistent bool, want float64) {
 		}); err != nil {
 			b.Fatal(err)
 		}
-		pop := StartPopulation(32, ClientConfig{
+		pop := MustStartPopulation(32, ClientConfig{
 			Kernel:     s.Kernel,
 			Src:        Addr("10.1.0.1", 1024),
 			Dst:        Addr("10.0.0.1", 80),
@@ -237,7 +237,7 @@ func BenchmarkRequestPathEndToEnd(b *testing.B) {
 	}); err != nil {
 		b.Fatal(err)
 	}
-	pop := StartPopulation(16, ClientConfig{
+	pop := MustStartPopulation(16, ClientConfig{
 		Kernel: s.Kernel,
 		Src:    Addr("10.1.0.1", 1024),
 		Dst:    Addr("10.0.0.1", 80),

@@ -1,17 +1,31 @@
-// Command rctrace runs a small prioritized-server scenario on the
-// resource-container kernel with kernel tracing enabled, then prints the
-// container hierarchy (with full per-activity accounting) and the tail
-// of the kernel event trace. It is the observability companion to
-// rcbench: a quick way to *see* where every cycle, packet and drop went.
+// Command rctrace runs a small prioritized-server scenario (a SYN flood
+// against a server with paying clients, the setup behind Fig. 14) with
+// kernel tracing and telemetry enabled, then prints the container
+// hierarchy (with full per-activity accounting) and the tail of the
+// kernel event trace. It is the observability companion to rcbench: a
+// quick way to *see* where every cycle, packet and drop went.
 //
 // Usage:
 //
-//	rctrace [-dur 2s] [-flood 20000] [-events 40] [-kinds drop,conn]
+//	rctrace [-mode rc|lrp|unmodified] [-dur 2s] [-flood 20000]
+//	        [-events 40] [-kinds drop,conn] [-json]
+//	        [-profile] [-timeline out.jsonl] [-chrome out.json]
+//
+// The -profile flag prints the virtual-CPU profile: every simulated CPU
+// microsecond attributed to a (principal × stage) pair. Under -mode rc
+// the flood's interrupt-stage time lands on the "attackers" container;
+// under -mode unmodified it is misattributed to whichever activity the
+// interrupt preempted — the paper's Fig. 14 effect, visible in two runs.
+//
+// -timeline writes the full telemetry stream (structured events, usage
+// timeline samples, profile rows) as JSONL; -chrome writes a Chrome
+// trace_event file loadable in Perfetto / chrome://tracing.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,57 +34,112 @@ import (
 	"rescon/internal/kernel"
 	"rescon/internal/rc"
 	"rescon/internal/sim"
+	"rescon/internal/telemetry"
 	"rescon/internal/trace"
 	"rescon/internal/workload"
 )
 
+func parseMode(s string) (kernel.Mode, error) {
+	switch strings.ToLower(s) {
+	case "rc":
+		return kernel.ModeRC, nil
+	case "lrp":
+		return kernel.ModeLRP, nil
+	case "unmodified", "unmod", "base":
+		return kernel.ModeUnmodified, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want rc, lrp or unmodified)", s)
+	}
+}
+
+// writeTo opens path for writing; "-" means stdout.
+func writeTo(path string, f func(io.Writer) error) error {
+	if path == "-" {
+		return f(os.Stdout)
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
 func main() {
+	mode := flag.String("mode", "rc", "kernel mode: rc, lrp or unmodified")
 	dur := flag.Duration("dur", 2*time.Second, "virtual duration to simulate")
 	flood := flag.Float64("flood", 20_000, "SYN-flood rate (0 disables)")
 	events := flag.Int("events", 40, "trace events to print")
 	kinds := flag.String("kinds", "", "comma-separated event kinds to keep (default all): packet,drop,conn,dispatch,interrupt")
 	asJSON := flag.Bool("json", false, "emit the container hierarchy as JSON (billing snapshot) instead of a tree")
+	profile := flag.Bool("profile", false, "print the virtual-CPU profile (principal × stage)")
+	timeline := flag.String("timeline", "", "write telemetry JSONL (events, samples, profile) to this file; - for stdout")
+	chrome := flag.String("chrome", "", "write a Chrome trace_event file (Perfetto-loadable) to this file; - for stdout")
 	flag.Parse()
 
+	km, err := parseMode(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	eng := sim.NewEngine(2026)
-	k := kernel.New(eng, kernel.ModeRC, kernel.DefaultCosts())
-	tr := trace.New(4096)
+	k := kernel.New(eng, km, kernel.DefaultCosts())
+	tel := telemetry.New(telemetry.Config{})
+	k.AttachTelemetry(tel)
+	tr := tel.Tracer()
 	if *kinds != "" {
 		tr.Filter = map[trace.Kind]bool{}
 		for _, s := range strings.Split(*kinds, ",") {
 			tr.Filter[trace.Kind(strings.TrimSpace(s))] = true
 		}
 	}
-	k.Tracer = tr
 
 	addr := kernel.Addr("10.0.0.1", 80)
-	// Build the whole tree under one root so the dump is coherent; the
-	// root is created first so per-connection containers land under it.
-	root := rc.MustNew(nil, rc.FixedShare, "machine", rc.Attributes{})
-	srv, err := httpsim.NewServer(httpsim.Config{
-		Kernel: k, Name: "httpd", Addr: addr, API: httpsim.EventAPI,
-		PerConnContainers: true,
-		Parent:            root,
+	// Containers only exist on the RC kernel; on the other modes the
+	// server runs bare and the profile shows where misattribution lands.
+	rcMode := km == kernel.ModeRC
+	var root *rc.Container
+	scfg := httpsim.Config{Kernel: k, Name: "httpd", Addr: addr, API: httpsim.EventAPI}
+	if rcMode {
+		// Build the whole tree under one root so the dump is coherent; the
+		// root is created first so per-connection containers land under it.
+		root = rc.MustNew(nil, rc.FixedShare, "machine", rc.Attributes{})
+		scfg.PerConnContainers = true
+		scfg.Parent = root
+	}
+	srv, err := httpsim.NewServer(scfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rcMode {
+		if err := srv.Process().DefaultContainer.SetParent(root); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		attackers := rc.MustNew(root, rc.TimeShare, "attackers", rc.Attributes{Priority: 0})
+		if _, err := srv.AddListener(kernel.FilterCIDR("66.0.0.0", 8), attackers); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		k.WatchContainer(root)
+		k.WatchContainer(srv.Process().DefaultContainer)
+		k.WatchContainer(attackers)
+	}
+
+	good, err := workload.StartPopulation(16, workload.ClientConfig{
+		Kernel: k,
+		Src:    kernel.Addr("10.1.0.1", 1024),
+		Dst:    addr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if err := srv.Process().DefaultContainer.SetParent(root); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	attackers := rc.MustNew(root, rc.TimeShare, "attackers", rc.Attributes{Priority: 0})
-	if _, err := srv.AddListener(kernel.FilterCIDR("66.0.0.0", 8), attackers); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	good := workload.StartPopulation(16, workload.ClientConfig{
-		Kernel: k,
-		Src:    kernel.Addr("10.1.0.1", 1024),
-		Dst:    addr,
-	})
 	if *flood > 0 {
 		workload.StartFlood(k, sim.Rate(*flood), kernel.Addr("66.0.0.1", 0).IP, 1024, addr)
 	}
@@ -78,15 +147,41 @@ func main() {
 	eng.RunUntil(sim.Time(sim.FromStd(*dur)))
 
 	u := k.Utilization()
-	fmt.Printf("=== %v elapsed: %.0f good req/s; CPU %.1f%% busy, %.1f%% interrupts, %.1f%% idle ===\n",
-		eng.Now(), good.Rate(eng.Now()), u.Busy*100, u.Interrupt*100, u.Idle*100)
-	if *asJSON {
+	fmt.Printf("=== %s kernel, %v elapsed: %.0f good req/s; CPU %.1f%% busy, %.1f%% interrupts, %.1f%% idle ===\n",
+		km, eng.Now(), good.Rate(eng.Now()), u.Busy*100, u.Interrupt*100, u.Idle*100)
+	switch {
+	case root == nil:
+		fmt.Printf("(no container hierarchy: %s kernel has no resource containers)\n", km)
+	case *asJSON:
 		if err := rc.WriteJSON(os.Stdout, root); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-	} else {
+	default:
 		rc.Fprint(os.Stdout, root)
+	}
+
+	if *profile {
+		fmt.Printf("\n=== virtual-CPU profile (%s kernel) ===\n", km)
+		tel.WriteProfile(os.Stdout, 20)
+	}
+	if *timeline != "" {
+		if err := writeTo(*timeline, tel.WriteJSONL); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *timeline != "-" {
+			fmt.Printf("\ntelemetry JSONL written to %s\n", *timeline)
+		}
+	}
+	if *chrome != "" {
+		if err := writeTo(*chrome, tel.WriteChromeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *chrome != "-" {
+			fmt.Printf("Chrome trace written to %s (load in Perfetto or chrome://tracing)\n", *chrome)
+		}
 	}
 
 	fmt.Printf("\n=== last %d of %d kernel events ===\n", *events, tr.Total())

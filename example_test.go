@@ -27,7 +27,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	clients := rescon.StartPopulation(8, rescon.ClientConfig{
+	clients := rescon.MustStartPopulation(8, rescon.ClientConfig{
 		Kernel: s.Kernel,
 		Src:    rescon.Addr("10.1.0.1", 1024),
 		Dst:    rescon.Addr("10.0.0.1", 80),
@@ -67,7 +67,7 @@ func ExampleServer_AddListener() {
 		rescon.Attributes{Priority: 0})
 	ls, _ := srv.AddListener(rescon.CIDR("66.0.0.0", 8), attackers)
 
-	good := rescon.StartPopulation(16, rescon.ClientConfig{
+	good := rescon.MustStartPopulation(16, rescon.ClientConfig{
 		Kernel: s.Kernel,
 		Src:    rescon.Addr("10.1.0.1", 1024),
 		Dst:    rescon.Addr("10.0.0.1", 80),
@@ -79,6 +79,39 @@ func ExampleServer_AddListener() {
 		good.Rate(s.Now()) > 2000, "attackers")
 	_ = ls
 	// Output: good clients kept working under 50k SYN/s: true (drops confined to attackers)
+}
+
+// WithTelemetry attaches the observability layer at construction: a
+// structured trace ring, per-principal usage timelines, and a
+// virtual-CPU profile attributing every simulated microsecond to
+// (principal × kernel stage).
+func ExampleWithTelemetry() {
+	s := rescon.NewSim(rescon.ModeRC, 42,
+		rescon.WithTelemetry(rescon.TelemetryConfig{}))
+	_, err := rescon.NewServer(rescon.ServerConfig{
+		Kernel: s.Kernel, Name: "httpd",
+		Addr: rescon.Addr("10.0.0.1", 80),
+		API:  rescon.EventAPI, PerConnContainers: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rescon.MustStartPopulation(8, rescon.ClientConfig{
+		Kernel: s.Kernel,
+		Src:    rescon.Addr("10.1.0.1", 1024),
+		Dst:    rescon.Addr("10.0.0.1", 80),
+	})
+	s.RunFor(rescon.Second)
+
+	tel := s.Telemetry
+	fmt.Println("profiled CPU > 0:", tel.TotalCPU() > 0)
+	fmt.Println("socket-stage work on the server:",
+		tel.StageCPU("httpd-default", rescon.StageSocket) > 0)
+	fmt.Println("timeline sampled:", len(tel.Samples()) > 0)
+	// Output:
+	// profiled CPU > 0: true
+	// socket-stage work on the server: true
+	// timeline sampled: true
 }
 
 // Fixed shares isolate guests (§5.8): consumption matches allocation.

@@ -54,12 +54,12 @@ func run(mode rescon.Mode, cgiLimit float64) (float64, float64) {
 		panic(err)
 	}
 
-	statics := rescon.StartPopulation(48, rescon.ClientConfig{
+	statics := rescon.MustStartPopulation(48, rescon.ClientConfig{
 		Kernel: s.Kernel,
 		Src:    rescon.Addr("10.1.0.1", 1024),
 		Dst:    rescon.Addr("10.0.0.1", 80),
 	})
-	rescon.StartPopulation(nCGI, rescon.ClientConfig{
+	rescon.MustStartPopulation(nCGI, rescon.ClientConfig{
 		Kernel: s.Kernel,
 		Src:    rescon.Addr("10.2.0.1", 1024),
 		Dst:    rescon.Addr("10.0.0.1", 80),

@@ -50,12 +50,12 @@ func main() {
 		panic(err)
 	}
 
-	statics := rescon.StartPopulation(16, rescon.ClientConfig{
+	statics := rescon.MustStartPopulation(16, rescon.ClientConfig{
 		Kernel: s.Kernel,
 		Src:    rescon.Addr("10.1.0.1", 1024),
 		Dst:    rescon.Addr("10.0.0.1", 80),
 	})
-	rescon.StartPopulation(3, rescon.ClientConfig{
+	rescon.MustStartPopulation(3, rescon.ClientConfig{
 		Kernel: s.Kernel,
 		Src:    rescon.Addr("10.2.0.1", 1024),
 		Dst:    rescon.Addr("10.0.0.1", 80),

@@ -62,13 +62,13 @@ func run(mode rescon.Mode, api rescon.API, containers bool) float64 {
 		}
 	}
 
-	rescon.StartPopulation(nLow, rescon.ClientConfig{
+	rescon.MustStartPopulation(nLow, rescon.ClientConfig{
 		Kernel: s.Kernel,
 		Src:    rescon.Addr("10.1.0.1", 1024),
 		Dst:    rescon.Addr("10.0.0.1", 80),
 		Think:  5 * rescon.Millisecond,
 	})
-	high := rescon.StartClient(rescon.ClientConfig{
+	high := rescon.MustStartClient(rescon.ClientConfig{
 		Kernel: s.Kernel,
 		Src:    rescon.Addr("10.9.9.9", 1024),
 		Dst:    rescon.Addr("10.0.0.1", 80),

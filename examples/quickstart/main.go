@@ -5,6 +5,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"rescon"
 )
@@ -12,8 +13,11 @@ import (
 func main() {
 	// A deterministic simulated machine running the resource-container
 	// kernel (ModeRC). ModeUnmodified and ModeLRP give the paper's two
-	// comparison systems.
-	s := rescon.NewSim(rescon.ModeRC, 42)
+	// comparison systems. Functional options tune the machine —
+	// WithCPUs(4) for SMP, WithCosts for a custom cost model; here,
+	// WithTelemetry attaches structured tracing and CPU profiling.
+	s := rescon.NewSim(rescon.ModeRC, 42,
+		rescon.WithTelemetry(rescon.TelemetryConfig{}))
 
 	// An event-driven Web server (the thttpd-like server of §5.2) that
 	// creates one resource container per connection. Clients from the
@@ -38,12 +42,12 @@ func main() {
 
 	// Load: 24 ordinary clients saturate the server; one premium client
 	// measures response time.
-	regular := rescon.StartPopulation(24, rescon.ClientConfig{
+	regular := rescon.MustStartPopulation(24, rescon.ClientConfig{
 		Kernel: s.Kernel,
 		Src:    rescon.Addr("10.1.0.1", 1024),
 		Dst:    rescon.Addr("10.0.0.1", 80),
 	})
-	vip := rescon.StartClient(rescon.ClientConfig{
+	vip := rescon.MustStartClient(rescon.ClientConfig{
 		Kernel: s.Kernel,
 		Src:    rescon.Addr("10.9.0.1", 1024),
 		Dst:    rescon.Addr("10.0.0.1", 80),
@@ -67,4 +71,9 @@ func main() {
 	u := srv.Process().DefaultContainer.Usage()
 	fmt.Printf("server default container: user=%v kernel=%v\n", u.CPUUser, u.CPUKernel)
 	fmt.Printf("static requests served:   %d\n", srv.StaticServed)
+
+	// The telemetry collector breaks the same accounting down by kernel
+	// stage: where did every simulated microsecond actually go?
+	fmt.Println()
+	s.Telemetry.WriteProfile(os.Stdout, 8)
 }

@@ -45,7 +45,7 @@ func main() {
 		panic(err)
 	}
 
-	good := rescon.StartPopulation(32, rescon.ClientConfig{
+	good := rescon.MustStartPopulation(32, rescon.ClientConfig{
 		Kernel: s.Kernel,
 		Src:    rescon.Addr("10.1.0.1", 1024),
 		Dst:    rescon.Addr("10.0.0.1", 80),

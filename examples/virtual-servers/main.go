@@ -54,12 +54,12 @@ func main() {
 			panic(err)
 		}
 
-		pop := rescon.StartPopulation(16, rescon.ClientConfig{
+		pop := rescon.MustStartPopulation(16, rescon.ClientConfig{
 			Kernel: s.Kernel,
 			Src:    rescon.Addr(fmt.Sprintf("10.%d.0.1", i+1), 1024),
 			Dst:    addr,
 		})
-		rescon.StartPopulation(1, rescon.ClientConfig{
+		rescon.MustStartPopulation(1, rescon.ClientConfig{
 			Kernel: s.Kernel,
 			Src:    rescon.Addr(fmt.Sprintf("10.%d.2.1", i+1), 1024),
 			Dst:    addr,

@@ -66,7 +66,7 @@ func ablatePruningPoint(implicit, disablePruning bool, floodRate sim.Rate, opt O
 	}
 	// Persistent connections: connection containers stay alive, so a
 	// non-pruned scheduler binding keeps referencing them.
-	good := workload.StartPopulation(32, workload.ClientConfig{
+	good := workload.MustStartPopulation(32, workload.ClientConfig{
 		Kernel:     e.k,
 		Src:        netsim.Addr{IP: ClientNet + 1, Port: 1024},
 		Dst:        ServerAddr,

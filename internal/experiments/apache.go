@@ -56,13 +56,13 @@ func apachePoint(n int, opt Options) float64 {
 		}
 		return 8 // background class
 	}
-	workload.StartPopulation(n, workload.ClientConfig{
+	workload.MustStartPopulation(n, workload.ClientConfig{
 		Kernel: e.k,
 		Src:    netsim.Addr{IP: ClientNet + 1, Port: 1024},
 		Dst:    ServerAddr,
 		Think:  5 * sim.Millisecond,
 	})
-	high := workload.StartClient(workload.ClientConfig{
+	high := workload.MustStartClient(workload.ClientConfig{
 		Kernel: e.k,
 		Src:    netsim.Addr{IP: HighPriorityIP, Port: 1024},
 		Dst:    ServerAddr,

@@ -23,7 +23,7 @@ func Baseline(opt Options) *metrics.Table {
 		}); err != nil {
 			panic(err)
 		}
-		pop := workload.StartPopulation(32, workload.ClientConfig{
+		pop := workload.MustStartPopulation(32, workload.ClientConfig{
 			Kernel:     e.k,
 			Src:        kernel.Addr("10.1.0.1", 1024),
 			Dst:        ServerAddr,

@@ -81,7 +81,7 @@ func cacheWarPoint(quota bool, opt Options) (hitPct, bTput, bLatMs, aTput float6
 	// Guest A: streaming scan over a huge corpus (every request a new
 	// document).
 	scanSeq := uint64(0)
-	aPop := workload.StartPopulation(8, workload.ClientConfig{
+	aPop := workload.MustStartPopulation(8, workload.ClientConfig{
 		Kernel: e.k,
 		Src:    netsim.Addr{IP: ClientNet + 1, Port: 1024},
 		Dst:    aAddr,
@@ -96,7 +96,7 @@ func cacheWarPoint(quota bool, opt Options) (hitPct, bTput, bLatMs, aTput float6
 	// touches of a hot document, A's scan can stream hundreds of new
 	// documents through the shared LRU.
 	bSeq := uint64(0)
-	bPop := workload.StartPopulation(4, workload.ClientConfig{
+	bPop := workload.MustStartPopulation(4, workload.ClientConfig{
 		Kernel: e.k,
 		Src:    netsim.Addr{IP: ClientNet + 0x40, Port: 1024},
 		Dst:    bAddr,

@@ -58,13 +58,13 @@ func diskBoundPoint(mode kernel.Mode, n int, opt Options) float64 {
 	}
 	_ = srv
 
-	lows := workload.StartPopulation(n, workload.ClientConfig{
+	lows := workload.MustStartPopulation(n, workload.ClientConfig{
 		Kernel:   e.k,
 		Src:      netsim.Addr{IP: ClientNet + 1, Port: 1024},
 		Dst:      ServerAddr,
 		Uncached: true,
 	})
-	high := workload.StartClient(workload.ClientConfig{
+	high := workload.MustStartClient(workload.ClientConfig{
 		Kernel:   e.k,
 		Src:      netsim.Addr{IP: HighPriorityIP, Port: 1024},
 		Dst:      ServerAddr,

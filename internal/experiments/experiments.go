@@ -94,7 +94,7 @@ func (e *env) measureRate(pop *workload.Population, warmup, window sim.Duration)
 
 // staticClients starts n saturating 1-connection-per-request clients.
 func (e *env) staticClients(n int, think sim.Duration) *workload.Population {
-	return workload.StartPopulation(n, workload.ClientConfig{
+	return workload.MustStartPopulation(n, workload.ClientConfig{
 		Kernel: e.k,
 		Src:    netsim.Addr{IP: ClientNet + 1, Port: 1024},
 		Dst:    ServerAddr,
@@ -105,7 +105,7 @@ func (e *env) staticClients(n int, think sim.Duration) *workload.Population {
 // cgiClients starts n closed-loop dynamic-resource clients, each keeping
 // one CGI request (cpu seconds of work) outstanding (§5.6).
 func (e *env) cgiClients(n int, cpu sim.Duration) *workload.Population {
-	return workload.StartPopulation(n, workload.ClientConfig{
+	return workload.MustStartPopulation(n, workload.ClientConfig{
 		Kernel: e.k,
 		Src:    netsim.Addr{IP: ClientNet + 0x100, Port: 1024},
 		Dst:    ServerAddr,

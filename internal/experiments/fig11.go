@@ -102,13 +102,13 @@ func fig11Point(sys fig11System, n int, opt Options) float64 {
 
 	// Low-priority population: closed-loop with a small think time so the
 	// x axis sweeps across the saturation knee as in the paper.
-	lows := workload.StartPopulation(n, workload.ClientConfig{
+	lows := workload.MustStartPopulation(n, workload.ClientConfig{
 		Kernel: e.k,
 		Src:    netsim.Addr{IP: ClientNet + 1, Port: 1024},
 		Dst:    ServerAddr,
 		Think:  5 * sim.Millisecond,
 	})
-	high := workload.StartClient(workload.ClientConfig{
+	high := workload.MustStartClient(workload.ClientConfig{
 		Kernel: e.k,
 		Src:    netsim.Addr{IP: HighPriorityIP, Port: 1024},
 		Dst:    ServerAddr,

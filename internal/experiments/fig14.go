@@ -88,7 +88,7 @@ func fig14Point(sys fig14System, rate sim.Rate, opt Options) float64 {
 		}
 	}
 
-	good := workload.StartPopulation(32, workload.ClientConfig{
+	good := workload.MustStartPopulation(32, workload.ClientConfig{
 		Kernel: e.k,
 		Src:    netsim.Addr{IP: ClientNet + 1, Port: 1024},
 		Dst:    ServerAddr,

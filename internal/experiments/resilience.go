@@ -33,7 +33,7 @@ const ResilienceFloodRate = sim.Rate(6000)
 // fraction of a second, not the BSD 3 s) and jittered exponential
 // backoff (so the retrying population does not synchronize into bursts).
 func resilienceClients(e *env, n int) *workload.Population {
-	return workload.StartPopulation(n, workload.ClientConfig{
+	return workload.MustStartPopulation(n, workload.ClientConfig{
 		Kernel:         e.k,
 		Src:            netsim.Addr{IP: ClientNet + 1, Port: 1024},
 		Dst:            ServerAddr,
@@ -156,7 +156,7 @@ func faultScenario(opt Options, cfg fault.Config, uncached bool) (faultRow, erro
 	}); err != nil {
 		return faultRow{}, err
 	}
-	pop := workload.StartPopulation(16, workload.ClientConfig{
+	pop := workload.MustStartPopulation(16, workload.ClientConfig{
 		Kernel:         e.k,
 		Src:            netsim.Addr{IP: ClientNet + 1, Port: 1024},
 		Dst:            ServerAddr,

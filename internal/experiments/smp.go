@@ -50,7 +50,7 @@ func smpPoint(ncpus int, multithreaded bool, opt Options) float64 {
 		panic(err)
 	}
 	// CPU-heavy dynamic requests (1 ms modules) keep the pool busy.
-	pop := workload.StartPopulation(32, workload.ClientConfig{
+	pop := workload.MustStartPopulation(32, workload.ClientConfig{
 		Kernel: k,
 		Src:    netsim.Addr{IP: ClientNet + 1, Port: 1024},
 		Dst:    ServerAddr,

@@ -54,13 +54,13 @@ func tailPoint(sys fig11System, n int, opt Options) *metrics.Summary {
 			panic(err)
 		}
 	}
-	workload.StartPopulation(n, workload.ClientConfig{
+	workload.MustStartPopulation(n, workload.ClientConfig{
 		Kernel: e.k,
 		Src:    netsim.Addr{IP: ClientNet + 1, Port: 1024},
 		Dst:    ServerAddr,
 		Think:  5 * sim.Millisecond,
 	})
-	high := workload.StartClient(workload.ClientConfig{
+	high := workload.MustStartClient(workload.ClientConfig{
 		Kernel: e.k,
 		Src:    netsim.Addr{IP: HighPriorityIP, Port: 1024},
 		Dst:    ServerAddr,

@@ -53,12 +53,12 @@ func VServers(opt Options) (*metrics.Table, error) {
 			return nil, err
 		}
 		// Saturating load: static clients plus a CGI client per guest.
-		pop := workload.StartPopulation(16, workload.ClientConfig{
+		pop := workload.MustStartPopulation(16, workload.ClientConfig{
 			Kernel: e.k,
 			Src:    netsim.Addr{IP: ClientNet + netsim.IP(1+i*64), Port: 1024},
 			Dst:    addr,
 		})
-		cgi := workload.StartPopulation(1, workload.ClientConfig{
+		cgi := workload.MustStartPopulation(1, workload.ClientConfig{
 			Kernel: e.k,
 			Src:    netsim.Addr{IP: ClientNet + netsim.IP(0x200+i*64), Port: 1024},
 			Dst:    addr,

@@ -59,7 +59,7 @@ func faultRun(t *testing.T, seed int64) faultRunResult {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop := workload.StartPopulation(8, workload.ClientConfig{
+	pop := workload.MustStartPopulation(8, workload.ClientConfig{
 		Kernel:         k,
 		Src:            netsim.Addr{IP: netsim.MustParseIP("10.1.0.1"), Port: 1024},
 		Dst:            srvAddr,

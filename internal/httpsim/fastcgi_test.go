@@ -23,7 +23,7 @@ func TestFastCGIPoolServesDynamicRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop := workload.StartPopulation(4, workload.ClientConfig{
+	pop := workload.MustStartPopulation(4, workload.ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -59,7 +59,7 @@ func TestFastCGIPoolQueuesWhenSaturated(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 4 concurrent long jobs against 1 worker: some must queue.
-	workload.StartPopulation(4, workload.ClientConfig{
+	workload.MustStartPopulation(4, workload.ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -97,12 +97,12 @@ func TestFastCGISandboxCap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	statics := workload.StartPopulation(32, workload.ClientConfig{
+	statics := workload.MustStartPopulation(32, workload.ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
 	})
-	workload.StartPopulation(2, workload.ClientConfig{
+	workload.MustStartPopulation(2, workload.ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.2.0.1", 1024),
 		Dst:    srvAddr,
@@ -148,7 +148,7 @@ func TestInProcessModuleRequests(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop := workload.StartPopulation(2, workload.ClientConfig{
+	pop := workload.MustStartPopulation(2, workload.ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -179,7 +179,7 @@ func TestModuleVsCGIOverhead(t *testing.T) {
 		}); err != nil {
 			t.Fatal(err)
 		}
-		pop := workload.StartPopulation(4, workload.ClientConfig{
+		pop := workload.MustStartPopulation(4, workload.ClientConfig{
 			Kernel: k,
 			Src:    kernel.Addr("10.1.0.1", 1024),
 			Dst:    srvAddr,
@@ -204,7 +204,7 @@ func TestUncachedRequestsUseDisk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl := workload.StartClient(workload.ClientConfig{
+	cl := workload.MustStartClient(workload.ClientConfig{
 		Kernel:   k,
 		Src:      kernel.Addr("10.1.0.1", 1024),
 		Dst:      srvAddr,
@@ -234,7 +234,7 @@ func TestCachedRequestsSkipDisk(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	workload.StartPopulation(2, workload.ClientConfig{
+	workload.MustStartPopulation(2, workload.ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,

@@ -17,7 +17,7 @@ func TestForkServerServesLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop := workload.StartPopulation(4, workload.ClientConfig{
+	pop := workload.MustStartPopulation(4, workload.ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -52,7 +52,7 @@ func TestForkServerBacklogWhenWorkersBusy(t *testing.T) {
 	}
 	// 4 concurrent long CGI-ish requests against 1 worker still all
 	// complete (queued at the master).
-	pop := workload.StartPopulation(4, workload.ClientConfig{
+	pop := workload.MustStartPopulation(4, workload.ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -81,7 +81,7 @@ func TestForkServerRCContainersTravelToWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop := workload.StartPopulation(2, workload.ClientConfig{
+	pop := workload.MustStartPopulation(2, workload.ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -110,7 +110,7 @@ func TestForkServerNiceChangesUserScheduling(t *testing.T) {
 		return 8 // background class
 	}
 	mk := func(ip string) *workload.Client {
-		return workload.StartClient(workload.ClientConfig{
+		return workload.MustStartClient(workload.ClientConfig{
 			Kernel: k, Src: kernel.Addr(ip, 1024), Dst: srvAddr,
 			Persistent: true, Kind: httpsim.Module, CGICPU: 2 * sim.Millisecond,
 		})

@@ -28,6 +28,12 @@ type MTServer struct {
 
 // NewMTServer creates a multi-threaded server with the given pool size.
 func NewMTServer(cfg Config, threads int) (*MTServer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Name == "" {
+		cfg.Name = "httpd"
+	}
 	if threads <= 0 {
 		return nil, fmt.Errorf("httpsim: pool size %d", threads)
 	}

@@ -19,7 +19,7 @@ func TestMTServerServesLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop := workload.StartPopulation(8, workload.ClientConfig{
+	pop := workload.MustStartPopulation(8, workload.ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -59,7 +59,7 @@ func TestMTServerPerConnContainerCharging(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop := workload.StartPopulation(2, workload.ClientConfig{
+	pop := workload.MustStartPopulation(2, workload.ClientConfig{
 		Kernel:     k,
 		Src:        kernel.Addr("10.1.0.1", 1024),
 		Dst:        srvAddr,
@@ -99,7 +99,7 @@ func TestMTServerPriorityBetweenConnections(t *testing.T) {
 		t.Fatal(err)
 	}
 	mk := func(ip string) *workload.Client {
-		return workload.StartClient(workload.ClientConfig{
+		return workload.MustStartClient(workload.ClientConfig{
 			Kernel:     k,
 			Src:        kernel.Addr(ip, 1024),
 			Dst:        srvAddr,

@@ -1,6 +1,7 @@
 package httpsim
 
 import (
+	"errors"
 	"fmt"
 
 	"rescon/internal/kernel"
@@ -68,6 +69,20 @@ type Config struct {
 	AcceptBacklog int
 }
 
+// Validate reports whether the configuration can produce a working
+// server: a kernel to live in and a usable listen endpoint. NewServer
+// and NewMTServer call it, so a broken config surfaces as an error at
+// construction instead of a panic deep in the kernel.
+func (cfg Config) Validate() error {
+	if cfg.Kernel == nil {
+		return errors.New("httpsim: Config.Kernel is nil")
+	}
+	if cfg.Addr.IP == 0 || cfg.Addr.Port == 0 {
+		return fmt.Errorf("httpsim: Config.Addr %v is not a usable endpoint", cfg.Addr)
+	}
+	return nil
+}
+
 // event is one pending notification in the application.
 type event struct {
 	// accept event when ls != nil, request event otherwise.
@@ -101,8 +116,8 @@ type Server struct {
 	// DiskErrors counts requests shed because an injected disk media
 	// error made the response impossible.
 	DiskErrors uint64
-	cgiLive      map[*kernel.Process]bool
-	cgiCPUDone   sim.Duration
+	cgiLive    map[*kernel.Process]bool
+	cgiCPUDone sim.Duration
 }
 
 // CGICPU returns the total CPU consumed by the server's CGI processes so
@@ -118,6 +133,12 @@ func (s *Server) CGICPU() sim.Duration {
 // NewServer creates and binds the server. The returned server is running:
 // it reacts to kernel upcalls as soon as the simulation delivers them.
 func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Name == "" {
+		cfg.Name = "httpd"
+	}
 	s := &Server{cfg: cfg, k: cfg.Kernel}
 	s.proc = s.k.NewProcess(cfg.Name)
 	s.thread = s.proc.NewThread("main")
@@ -168,7 +189,7 @@ func (s *Server) Shutdown() {
 		return
 	}
 	s.down = true
-	s.k.Tracer.Emit(s.k.Now(), trace.KindCrash, "server %s crash-stopped", s.cfg.Name)
+	s.k.Tracer.Emitf(s.k.Now(), trace.KindCrash, "server %s crash-stopped", s.cfg.Name)
 	for _, ls := range s.listeners {
 		ls.Close()
 	}

@@ -33,7 +33,7 @@ func TestBaselineThroughputConnPerRequest(t *testing.T) {
 	if _, err := httpsim.NewServer(httpsim.Config{Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.SelectAPI}); err != nil {
 		t.Fatal(err)
 	}
-	pop := workload.StartPopulation(32, workload.ClientConfig{
+	pop := workload.MustStartPopulation(32, workload.ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -50,7 +50,7 @@ func TestBaselineThroughputPersistent(t *testing.T) {
 	if _, err := httpsim.NewServer(httpsim.Config{Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.SelectAPI}); err != nil {
 		t.Fatal(err)
 	}
-	pop := workload.StartPopulation(32, workload.ClientConfig{
+	pop := workload.MustStartPopulation(32, workload.ClientConfig{
 		Kernel:     k,
 		Src:        kernel.Addr("10.1.0.1", 1024),
 		Dst:        srvAddr,
@@ -75,7 +75,7 @@ func TestServerModesServeRequests(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				pop := workload.StartPopulation(4, workload.ClientConfig{
+				pop := workload.MustStartPopulation(4, workload.ClientConfig{
 					Kernel: k,
 					Src:    kernel.Addr("10.1.0.1", 1024),
 					Dst:    srvAddr,
@@ -109,7 +109,7 @@ func TestRCOverheadNegligible(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pop := workload.StartPopulation(32, workload.ClientConfig{
+		pop := workload.MustStartPopulation(32, workload.ClientConfig{
 			Kernel: k,
 			Src:    kernel.Addr("10.1.0.1", 1024),
 			Dst:    srvAddr,
@@ -129,7 +129,7 @@ func TestPersistentConnectionReusesConn(t *testing.T) {
 	if _, err := httpsim.NewServer(httpsim.Config{Kernel: k, Name: "httpd", Addr: srvAddr, API: httpsim.SelectAPI}); err != nil {
 		t.Fatal(err)
 	}
-	cl := workload.StartClient(workload.ClientConfig{
+	cl := workload.MustStartClient(workload.ClientConfig{
 		Kernel:     k,
 		Src:        kernel.Addr("10.1.0.1", 1024),
 		Dst:        srvAddr,
@@ -166,10 +166,10 @@ func TestEventAPIPriorityOrder(t *testing.T) {
 	_ = srv
 	// Saturate with low-priority clients, then compare mean response
 	// times: the high-priority client must be served far faster.
-	lows := workload.StartPopulation(24, workload.ClientConfig{
+	lows := workload.MustStartPopulation(24, workload.ClientConfig{
 		Kernel: k, Src: kernel.Addr("10.1.0.1", 2000), Dst: srvAddr,
 	})
-	hi := workload.StartClient(workload.ClientConfig{
+	hi := workload.MustStartClient(workload.ClientConfig{
 		Kernel: k, Src: kernel.Addr("10.9.9.9", 2000), Dst: srvAddr,
 		Think: 10 * sim.Millisecond,
 	})

@@ -20,7 +20,12 @@ type intrWork struct {
 	// chargePreempted charges the work to whatever principal was running
 	// when the interrupt fired — the unmodified kernel's misaccounting.
 	chargePreempted bool
-	onDone          func()
+	// deferTel suppresses the default telemetry attribution (interrupt
+	// cost charged to the preempted principal — the baseline's "victim
+	// pays" story): LRP/RC demux work attributes itself to the packet's
+	// destination once early demultiplexing has identified it.
+	deferTel bool
+	onDone   func()
 }
 
 // running describes the thread slice currently on the CPU.
@@ -58,7 +63,6 @@ func (c *CPU) BusyTime() sim.Duration { return c.busy }
 // RaiseInterrupt queues interrupt-level work and preempts any running
 // thread slice.
 func (c *CPU) RaiseInterrupt(w *intrWork) {
-	c.k.Tracer.Emit(c.k.Now(), trace.KindInterrupt, "%s (%v)", w.label, w.cost)
 	c.intrQ.Push(w)
 	if c.inIntr {
 		return // will be drained by the active interrupt loop
@@ -113,6 +117,17 @@ func (c *CPU) runNextIntr() {
 		c.dispatch()
 		return
 	}
+	if c.k.Tracer.Enabled(trace.KindInterrupt) {
+		var name string
+		if w.container != nil {
+			name = w.container.Name()
+		}
+		c.k.Tracer.Emit(trace.Event{
+			At: c.k.Now(), Kind: trace.KindInterrupt, CPU: c.id,
+			Stage: trace.StageInterrupt, Principal: name, Cost: w.cost,
+			Detail: w.label,
+		})
+	}
 	c.k.eng.After(w.cost, func() {
 		now := c.k.Now()
 		c.k.interruptTime += w.cost
@@ -124,11 +139,32 @@ func (c *CPU) runNextIntr() {
 			// scheduler state of the unlucky preempted principal.
 			c.k.sch.Charge(c.preempted, nil, w.cost, now)
 		}
+		if c.k.tel != nil && !w.deferTel {
+			// Profile attribution for interrupt-level work that is not
+			// re-attributed at demux time: the baseline's misaccounting
+			// made visible — the preempted principal pays (Fig 14).
+			name := "(idle)"
+			if c.preempted != nil {
+				name = c.preempted.Name
+			}
+			c.k.tel.ChargeStage(name, trace.StageInterrupt, w.cost)
+		}
 		if w.onDone != nil {
 			w.onDone()
 		}
 		c.runNextIntr()
 	})
+}
+
+// telPrincipal names the resource principal a slice is attributed to in
+// telemetry: the bound container when there is one, else the scheduler
+// entity. Names, not numeric IDs — container IDs come from a global
+// counter and are not stable across parallel runs.
+func telPrincipal(th *Thread, item *WorkItem) string {
+	if item.Container != nil {
+		return item.Container.Name()
+	}
+	return th.ent.Name
 }
 
 // chargeSlice performs all accounting for d of CPU consumed by th running
@@ -141,6 +177,9 @@ func (c *CPU) chargeSlice(th *Thread, item *WorkItem, d sim.Duration, now sim.Ti
 	th.cpuTime += d
 	th.proc.cpuTime += d
 	c.busy += d
+	if c.k.tel != nil {
+		c.k.tel.ChargeStage(telPrincipal(th, item), item.Stage, d)
+	}
 }
 
 // dispatch puts the next thread slice on the CPU if it is free.
@@ -223,7 +262,15 @@ func (c *CPU) start(th *Thread, now sim.Time) {
 			slice = sb
 		}
 	}
-	c.k.Tracer.Emit(now, trace.KindDispatch, "cpu%d: %s runs %q (%v left)", c.id, th.ent, item.Label, item.Cost)
+	if c.k.tel != nil {
+		c.k.tel.CountDispatch(telPrincipal(th, item))
+	}
+	if c.k.Tracer.Enabled(trace.KindDispatch) {
+		c.k.Tracer.Emit(trace.Event{
+			At: now, Kind: trace.KindDispatch, CPU: c.id, Stage: item.Stage,
+			Principal: telPrincipal(th, item), Cost: slice, Detail: item.Label,
+		})
+	}
 	th.ent.SetOnCPU(true)
 	r := &running{th: th, item: item, started: now}
 	c.cur = r

@@ -1,6 +1,8 @@
 package kernel
 
 import (
+	"fmt"
+
 	"rescon/internal/rc"
 	"rescon/internal/sim"
 	"rescon/internal/trace"
@@ -123,16 +125,28 @@ func (d *Disk) start() {
 			// paid, the transfer never happens.
 			failed = true
 			cost = d.SeekTime
-			d.k.Tracer.Emit(d.k.Now(), trace.KindFault, "disk read error %dB for %v", req.bytes, req.container)
+			d.k.Tracer.Emitf(d.k.Now(), trace.KindFault, "disk read error %dB for %v", req.bytes, req.container)
 		} else if extra > 0 {
 			cost += extra
-			d.k.Tracer.Emit(d.k.Now(), trace.KindFault, "disk latency spike +%v for %v", extra, req.container)
+			d.k.Tracer.Emitf(d.k.Now(), trace.KindFault, "disk latency spike +%v for %v", extra, req.container)
 		}
 	}
-	d.k.Tracer.Emit(d.k.Now(), trace.KindDispatch, "disk read %dB for %v (%v)", req.bytes, req.container, cost)
+	if d.k.Tracer.Enabled(trace.KindDispatch) {
+		name := diskPrincipal(req.container)
+		d.k.Tracer.Emit(trace.Event{
+			At: d.k.Now(), Kind: trace.KindDispatch, CPU: -1,
+			Stage: trace.StageDisk, Principal: name, Cost: cost,
+			Detail: fmt.Sprintf("disk read %dB", req.bytes),
+		})
+	}
 	d.k.eng.After(cost, func() {
 		d.busy = false
 		d.busyTime += cost
+		if d.k.tel != nil {
+			// Disk occupancy joins the profile under its own stage, so
+			// "who held the device" is queryable next to CPU attribution.
+			d.k.tel.ChargeStage(diskPrincipal(req.container), trace.StageDisk, cost)
+		}
 		if req.container != nil {
 			// A failed read still occupied the device: charge the time (with
 			// no bytes transferred) so device occupancy stays conserved.
@@ -157,6 +171,15 @@ func (d *Disk) start() {
 		}
 		d.start()
 	})
+}
+
+// diskPrincipal names the principal a disk request is attributed to;
+// container-less requests (non-RC modes) fall to the machine bucket.
+func diskPrincipal(c *rc.Container) string {
+	if c != nil {
+		return c.Name()
+	}
+	return "(machine)"
 }
 
 // pick removes and returns the next request: highest container priority

@@ -134,7 +134,7 @@ func (fc *FileCache) insert(path string, size int64, c *rc.Container) {
 			if !fc.evictSubtreeLRU(c.Root()) {
 				// The subtree's quota cannot fit this document at all:
 				// serve it uncached (the activity thrashes only itself).
-				fc.k.Tracer.Emit(fc.k.Now(), trace.KindDrop,
+				fc.k.Tracer.Emitf(fc.k.Now(), trace.KindDrop,
 					"cache quota: %q not cached for %v", path, c)
 				return
 			}

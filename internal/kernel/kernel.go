@@ -23,6 +23,7 @@ import (
 	"rescon/internal/rc"
 	"rescon/internal/sched"
 	"rescon/internal/sim"
+	"rescon/internal/telemetry"
 	"rescon/internal/trace"
 )
 
@@ -70,6 +71,14 @@ type Kernel struct {
 	// Tracer, when attached, records kernel events (packet arrivals,
 	// drops, connection lifecycle, dispatches) in a bounded ring.
 	Tracer *trace.Tracer
+
+	// tel, when attached, receives timeline samples and virtual-CPU
+	// profile attribution; see AttachTelemetry. Every instrumentation
+	// point is behind a nil check, so a detached collector is free.
+	tel *telemetry.Collector
+	// watched are containers sampled into the telemetry usage timeline,
+	// in registration order.
+	watched []*rc.Container
 
 	// WireLossRate drops each client-injected packet with this
 	// probability (deterministically, from the engine's seeded stream) —
@@ -349,6 +358,11 @@ type WorkItem struct {
 	Cost sim.Duration
 	// Kind is user- or kernel-mode, for the container's usage split.
 	Kind rc.CPUKind
+	// Stage is the kernel execution stage the segment's CPU time is
+	// attributed to in the virtual-CPU profile. Left at StageNone it is
+	// derived from Kind (user work → StageUser, kernel work →
+	// StageSyscall); the network path sets StageSocket explicitly.
+	Stage trace.Stage
 	// Container is the resource binding the thread assumes while running
 	// this segment (§4.2). It must be non-nil in ModeRC.
 	Container *rc.Container
@@ -519,9 +533,17 @@ func (t *Thread) exit() {
 }
 
 // checkItem enforces the ModeRC invariant that every work segment has a
-// container to charge.
+// container to charge, and normalizes the telemetry stage from the CPU
+// kind when the poster left it unset.
 func (k *Kernel) checkItem(item *WorkItem) {
 	if k.mode == ModeRC && item.Container == nil {
 		panic(fmt.Sprintf("kernel: ModeRC work item %q without a container", item.Label))
+	}
+	if item.Stage == trace.StageNone {
+		if item.Kind == rc.UserCPU {
+			item.Stage = trace.StageUser
+		} else {
+			item.Stage = trace.StageSyscall
+		}
 	}
 }

@@ -40,6 +40,7 @@ type network struct {
 	k      *Kernel
 	demux  netsim.Demux
 	conns  map[uint64]*Conn
+	socks  []*ListenSocket // creation order, for telemetry sampling
 	nextID uint64
 }
 
@@ -112,6 +113,7 @@ func (k *Kernel) Listen(p *Process, cfg ListenConfig) (*ListenSocket, error) {
 	if err := k.net.demux.Add(ls.lis); err != nil {
 		return nil, err
 	}
+	k.net.socks = append(k.net.socks, ls)
 	p.ensureNetThread()
 	return ls, nil
 }
@@ -257,7 +259,16 @@ func (c *Conn) Close() {
 		return
 	}
 	c.closed = true
-	c.k.Tracer.Emit(c.k.Now(), trace.KindConn, "closed conn %d", c.id)
+	if c.k.Tracer.Enabled(trace.KindConn) {
+		var name string
+		if c.container != nil {
+			name = c.container.Name()
+		}
+		c.k.Tracer.Emit(trace.Event{
+			At: c.k.Now(), Kind: trace.KindConn, CPU: -1,
+			Principal: name, Conn: c.id, Detail: "closed",
+		})
+	}
 	if c.memHolder != nil && !c.memHolder.Destroyed() {
 		_ = c.memHolder.ChargeMemory(-SocketBufferBytes)
 	}
@@ -275,10 +286,14 @@ func (c *Conn) Send(t *Thread, size int, chargeTo *rc.Container, onDelivered fun
 	if chargeTo != nil {
 		chargeTo.ChargePacketOut(size)
 	}
-	t.PostFunc("send", c.k.costs.SendProtocol, rc.KernelCPU, chargeTo, func() {
-		if onDelivered != nil {
-			c.k.eng.After(c.k.costs.WireDelay, onDelivered)
-		}
+	t.Post(&WorkItem{
+		Label: "send", Cost: c.k.costs.SendProtocol, Kind: rc.KernelCPU,
+		Stage: trace.StageSocket, Container: chargeTo,
+		OnDone: func() {
+			if onDelivered != nil {
+				c.k.eng.After(c.k.costs.WireDelay, onDelivered)
+			}
+		},
 	})
 }
 
@@ -293,21 +308,21 @@ func (k *Kernel) ClientSend(pkt *netsim.Packet) {
 			k.lossRNG = k.eng.Rand().Fork(0xD0BB5)
 		}
 		if k.lossRNG.Float64() < k.WireLossRate {
-			k.Tracer.Emit(k.Now(), trace.KindDrop, "wire loss: %s", pkt)
+			k.Tracer.Emitf(k.Now(), trace.KindDrop, "wire loss: %s", pkt)
 			return
 		}
 	}
 	if k.Faults != nil {
 		deliveries := k.Faults.WireFate(pkt)
 		if len(deliveries) == 0 {
-			k.Tracer.Emit(k.Now(), trace.KindFault, "wire fault: lost %s", pkt)
+			k.Tracer.Emitf(k.Now(), trace.KindFault, "wire fault: lost %s", pkt)
 			return
 		}
 		for i, extra := range deliveries {
 			if i > 0 {
-				k.Tracer.Emit(k.Now(), trace.KindFault, "wire fault: duplicated %s (+%v)", pkt, extra)
+				k.Tracer.Emitf(k.Now(), trace.KindFault, "wire fault: duplicated %s (+%v)", pkt, extra)
 			} else if extra > 0 {
-				k.Tracer.Emit(k.Now(), trace.KindFault, "wire fault: delayed %s (+%v)", pkt, extra)
+				k.Tracer.Emitf(k.Now(), trace.KindFault, "wire fault: delayed %s (+%v)", pkt, extra)
 			}
 			k.eng.After(k.costs.WireDelay+extra, func() { k.Arrive(pkt) })
 		}
@@ -319,7 +334,7 @@ func (k *Kernel) ClientSend(pkt *netsim.Packet) {
 // Arrive is the NIC receive path: every packet raises an interrupt. What
 // happens inside the interrupt depends on the kernel mode (§4.7).
 func (k *Kernel) Arrive(pkt *netsim.Packet) {
-	k.Tracer.Emit(k.Now(), trace.KindPacket, "%s", pkt)
+	k.Tracer.Emitf(k.Now(), trace.KindPacket, "%s", pkt)
 	switch k.mode {
 	case ModeUnmodified:
 		// All protocol processing at interrupt level, FIFO, charged to
@@ -335,9 +350,30 @@ func (k *Kernel) Arrive(pkt *netsim.Packet) {
 			label:           "intr+demux",
 			cost:            k.costs.Interrupt + k.costs.Demux,
 			chargePreempted: true,
-			onDone:          func() { k.earlyDemux(pkt) },
+			// Early demultiplexing identifies who the packet is for, so
+			// the profile can attribute this interrupt-level work to its
+			// destination instead of the preempted victim.
+			deferTel: true,
+			onDone:   func() { k.earlyDemux(pkt) },
 		})
 	}
+}
+
+// emitPkt records a structured packet-fate event (drop, police),
+// attributed by name to the responsible container when known. Detail
+// formatting only happens when the kind is traced.
+func (k *Kernel) emitPkt(kind trace.Kind, cont *rc.Container, pkt *netsim.Packet, format string, args ...any) {
+	if !k.Tracer.Enabled(kind) {
+		return
+	}
+	var name string
+	if cont != nil {
+		name = cont.Name()
+	}
+	k.Tracer.Emit(trace.Event{
+		At: k.Now(), Kind: kind, CPU: -1, Principal: name,
+		Conn: pkt.ConnID, Detail: fmt.Sprintf(format, args...),
+	})
 }
 
 // protoCost returns the protocol-processing CPU cost for a packet.
@@ -358,6 +394,23 @@ func (k *Kernel) protoCost(pkt *netsim.Packet) sim.Duration {
 // overflow.
 func (k *Kernel) earlyDemux(pkt *netsim.Packet) {
 	proc, cont, ls := k.route(pkt)
+	if k.tel != nil {
+		// Deferred attribution of the interrupt+demux work (Fig 14's
+		// accounting story): once the packet is classified, its interrupt
+		// cost lands on the destination principal at the interrupt stage
+		// and its demux cost at the IP stage — in ModeRC the destination
+		// container (a flood pays for its own SYN processing), in ModeLRP
+		// the destination process, and "(unmatched)" for packets no
+		// socket claims.
+		name := "(unmatched)"
+		if k.mode == ModeRC && cont != nil {
+			name = cont.Name()
+		} else if proc != nil {
+			name = proc.name
+		}
+		k.tel.ChargeStage(name, trace.StageInterrupt, k.costs.Interrupt)
+		k.tel.ChargeStage(name, trace.StageIP, k.costs.Demux)
+	}
 	if proc == nil {
 		return // no matching socket: packet dropped silently
 	}
@@ -373,7 +426,7 @@ func (k *Kernel) earlyDemux(pkt *netsim.Packet) {
 		// before any protocol processing is invested — LRP's "excess
 		// traffic is discarded early" (§3.2), which is what keeps the
 		// LRP and RC systems stable under overload.
-		k.Tracer.Emit(k.Now(), trace.KindDrop, "early drop, accept queue full: %s", pkt)
+		k.emitPkt(trace.KindDrop, cont, pkt, "early drop, accept queue full: %s", pkt)
 		if cont != nil {
 			cont.ChargeDrop()
 		}
@@ -393,7 +446,7 @@ func (k *Kernel) earlyDemux(pkt *netsim.Packet) {
 		run:       func() { k.protoProcess(pkt, ls) },
 	}
 	if !proc.netQ.enqueue(w) {
-		k.Tracer.Emit(k.Now(), trace.KindDrop, "backlog full: %s", pkt)
+		k.emitPkt(trace.KindDrop, cont, pkt, "backlog full: %s", pkt)
 		if cont != nil {
 			cont.ChargeDrop()
 		}
@@ -437,7 +490,7 @@ func (k *Kernel) policeDemux(pkt *netsim.Packet, proc *Process, cont *rc.Contain
 	if proc.netQ.backlogFor(cont) < limit {
 		return false
 	}
-	k.Tracer.Emit(k.Now(), trace.KindPolice, "policed, backlog over %d: %s", limit, pkt)
+	k.emitPkt(trace.KindPolice, cont, pkt, "policed, backlog over %d: %s", limit, pkt)
 	k.policedDrops++
 	if cont != nil {
 		cont.ChargeDrop()
@@ -518,7 +571,7 @@ func (k *Kernel) handleSYN(pkt *netsim.Packet, ls *ListenSocket) {
 		// one timeout, so expiries leave the queue in FIFO order.
 		ls.expireSyns(k.Now())
 		if ls.synQ.Full() {
-			k.Tracer.Emit(k.Now(), trace.KindDrop, "SYN queue full: %s", pkt)
+			k.emitPkt(trace.KindDrop, ls.container, pkt, "SYN queue full: %s", pkt)
 			ls.synDrops++
 			if ls.cfg.OnSynDrop != nil {
 				ls.cfg.OnSynDrop(pkt.Src)
@@ -529,7 +582,7 @@ func (k *Kernel) handleSYN(pkt *netsim.Packet, ls *ListenSocket) {
 		return
 	}
 	if ls.acceptQ.Full() {
-		k.Tracer.Emit(k.Now(), trace.KindDrop, "accept queue full: %s", pkt)
+		k.emitPkt(trace.KindDrop, ls.container, pkt, "accept queue full: %s", pkt)
 		ls.synDrops++
 		if ls.cfg.OnSynDrop != nil {
 			ls.cfg.OnSynDrop(pkt.Src)
@@ -542,7 +595,7 @@ func (k *Kernel) handleSYN(pkt *netsim.Packet, ls *ListenSocket) {
 	var memHolder *rc.Container
 	if k.mode == ModeRC && ls.container != nil {
 		if err := ls.container.ChargeMemory(SocketBufferBytes); err != nil {
-			k.Tracer.Emit(k.Now(), trace.KindDrop, "memory limit: %s (%v)", pkt, err)
+			k.emitPkt(trace.KindDrop, ls.container, pkt, "memory limit: %s (%v)", pkt, err)
 			ls.synDrops++
 			ls.container.ChargeDrop()
 			if ls.cfg.OnSynDrop != nil {
@@ -563,7 +616,16 @@ func (k *Kernel) handleSYN(pkt *netsim.Packet, ls *ListenSocket) {
 		container: ls.container,
 		memHolder: memHolder,
 	}
-	k.Tracer.Emit(k.Now(), trace.KindConn, "established conn %d from %s", conn.id, pkt.Src)
+	if k.Tracer.Enabled(trace.KindConn) {
+		var name string
+		if conn.container != nil {
+			name = conn.container.Name()
+		}
+		k.Tracer.Emit(trace.Event{
+			At: k.Now(), Kind: trace.KindConn, CPU: -1, Principal: name,
+			Conn: conn.id, Detail: fmt.Sprintf("established from %s", pkt.Src),
+		})
+	}
 	k.net.conns[conn.id] = conn
 	ls.acceptQ.Push(conn)
 	if ls.cfg.OnAcceptable != nil {
@@ -758,6 +820,7 @@ func (pq *pktQueue) NextWork() *WorkItem {
 		Label:     label,
 		Cost:      w.cost,
 		Kind:      rc.KernelCPU,
+		Stage:     trace.StageSocket,
 		Container: cont,
 		OnDone:    w.run,
 	}

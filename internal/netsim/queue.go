@@ -13,6 +13,7 @@ type Queue[T any] struct {
 	head  int // index of the oldest item
 	n     int // number of queued items
 	cap   int // capacity bound (0 = unbounded)
+	hi    int // high-water mark of n
 	drops uint64
 }
 
@@ -48,6 +49,9 @@ func (q *Queue[T]) Push(v T) bool {
 	q.grow()
 	q.buf[(q.head+q.n)%len(q.buf)] = v
 	q.n++
+	if q.n > q.hi {
+		q.hi = q.n
+	}
 	return true
 }
 
@@ -63,6 +67,9 @@ func (q *Queue[T]) PushFront(v T) {
 	q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
 	q.buf[q.head] = v
 	q.n++
+	if q.n > q.hi {
+		q.hi = q.n
+	}
 }
 
 // Pop removes and returns the oldest item.
@@ -112,6 +119,10 @@ func (q *Queue[T]) Full() bool { return q.cap > 0 && q.n >= q.cap }
 
 // Drops returns how many items have been rejected.
 func (q *Queue[T]) Drops() uint64 { return q.drops }
+
+// HighWater returns the deepest the queue has ever been — the worst-case
+// backlog a telemetry sample between drains would otherwise miss.
+func (q *Queue[T]) HighWater() int { return q.hi }
 
 // Clear empties the queue without counting drops.
 func (q *Queue[T]) Clear() {

@@ -79,6 +79,138 @@ func TestHierarchicalLimit(t *testing.T) {
 	}
 }
 
+// TestWindowRollRestoresBudget: once the window rolls, previously
+// exhausted budget is restored and admission is immediate again — usage
+// from the old window must not count against the new one.
+func TestWindowRollRestoresBudget(t *testing.T) {
+	fc := &fakeClock{}
+	e := New(fc, 10*time.Millisecond)
+	capped := rc.MustNew(nil, rc.FixedShare, "capped", rc.Attributes{Limit: 0.5})
+	leaf := rc.MustNew(capped, rc.TimeShare, "leaf", rc.Attributes{Priority: 1})
+
+	e.Acquire(leaf)(5 * time.Millisecond) // exhaust the 5ms window budget
+	fc.Sleep(11 * time.Millisecond)       // window expires on the fake clock
+	before := fc.Now()
+	e.Acquire(leaf)(time.Millisecond)
+	if fc.Now().Sub(before) != 0 {
+		t.Fatal("acquire after window roll should be immediate: budget must reset")
+	}
+}
+
+// TestBudgetIsPerWindow drives three consecutive windows of exhaustion on
+// the fake clock: each window admits its budget, then blocks until the
+// roll, and the total admitted tracks budget × windows — the sliding
+// snapshot accounting, not a cumulative-usage comparison (which would
+// deadlock after the first window).
+func TestBudgetIsPerWindow(t *testing.T) {
+	fc := &fakeClock{}
+	const window = 10 * time.Millisecond
+	const budget = 5 * time.Millisecond // Limit 0.5 × 10ms
+	e := New(fc, window)
+	capped := rc.MustNew(nil, rc.FixedShare, "capped", rc.Attributes{Limit: 0.5})
+	leaf := rc.MustNew(capped, rc.TimeShare, "leaf", rc.Attributes{Priority: 1})
+
+	for w := 0; w < 3; w++ {
+		e.Acquire(leaf)(budget)
+		before := fc.Now()
+		charge := e.Acquire(leaf) // over budget: must wait for the roll
+		if waited := fc.Now().Sub(before); waited <= 0 {
+			t.Fatalf("window %d: over-budget acquire admitted without delay", w)
+		}
+		charge(0) // admit-only probe; leaves the fresh window's budget intact
+	}
+	want := time.Duration(3) * budget
+	if got := time.Duration(leaf.Usage().CPU()); got != want {
+		t.Fatalf("charged %v across 3 windows, want %v", got, want)
+	}
+}
+
+// TestRollPrunesDestroyedContainers: a limited container that was being
+// tracked and is then destroyed must drop out of the snapshot table at
+// the next roll instead of leaking (and must not panic the roll).
+func TestRollPrunesDestroyedContainers(t *testing.T) {
+	fc := &fakeClock{}
+	e := New(fc, 10*time.Millisecond)
+	capped := rc.MustNew(nil, rc.FixedShare, "capped", rc.Attributes{Limit: 0.5})
+	leaf := rc.MustNew(capped, rc.TimeShare, "leaf", rc.Attributes{Priority: 1})
+
+	e.Acquire(leaf)(time.Millisecond) // seeds the snapshot for "capped"
+	e.mu.Lock()
+	_, tracked := e.snapshots[capped]
+	e.mu.Unlock()
+	if !tracked {
+		t.Fatal("limited ancestor not tracked after an acquire")
+	}
+	_ = leaf.Release()
+	_ = capped.Release()
+	fc.Sleep(11 * time.Millisecond)
+	// Any acquire rolls the window and prunes.
+	other := rc.MustNew(nil, rc.TimeShare, "other", rc.Attributes{Priority: 1})
+	e.Acquire(other)(0)
+	e.mu.Lock()
+	_, tracked = e.snapshots[capped]
+	e.mu.Unlock()
+	if tracked {
+		t.Fatal("destroyed container still in the snapshot table after a roll")
+	}
+}
+
+// stuckClock is a fake clock whose Sleep never returns: the only way a
+// blocked acquirer can be admitted is the waiter-wake path. Advance moves
+// time without unblocking any sleeper.
+type stuckClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (s *stuckClock) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+func (s *stuckClock) Sleep(time.Duration) { select {} }
+
+func (s *stuckClock) Advance(d time.Duration) {
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	s.mu.Unlock()
+}
+
+// TestRollWakesBlockedWaiter: a goroutine blocked on an exhausted limit
+// is released when another acquirer rolls the window — it must not
+// depend on its own fallback sleep firing.
+func TestRollWakesBlockedWaiter(t *testing.T) {
+	sc := &stuckClock{}
+	e := New(sc, 10*time.Millisecond)
+	capped := rc.MustNew(nil, rc.FixedShare, "capped", rc.Attributes{Limit: 0.5})
+	leaf := rc.MustNew(capped, rc.TimeShare, "leaf", rc.Attributes{Priority: 1})
+
+	e.Acquire(leaf)(5 * time.Millisecond)
+	admitted := make(chan struct{})
+	go func() {
+		e.Acquire(leaf)(0)
+		close(admitted)
+	}()
+	// Wait until the waiter has parked itself on the exhausted container.
+	for {
+		e.mu.Lock()
+		parked := len(e.waiters[capped]) > 0
+		e.mu.Unlock()
+		if parked {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	sc.Advance(11 * time.Millisecond) // expire the window…
+	e.Acquire(leaf)(0)                // …and roll it from a different acquirer
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked waiter was not woken by the window roll")
+	}
+}
+
 func TestDoBracketsAndCharges(t *testing.T) {
 	fc := &fakeClock{}
 	e := New(fc, 10*time.Millisecond)

@@ -463,6 +463,9 @@ func (s *ContainerScheduler) NextRelease(now sim.Time) (sim.Time, bool) {
 	return s.windowStart.Add(s.Window), true
 }
 
+// RunnableCount implements Scheduler: the current run-queue depth.
+func (s *ContainerScheduler) RunnableCount() int { return s.set.runnableCount() }
+
 // SliceBudget returns how much CPU a slice charged to c may consume
 // before hitting a limit budget in the current window. The kernel clips
 // slices to this value so hard caps are enforced almost exactly (§5.6

@@ -119,3 +119,6 @@ func (s *DecayScheduler) Quantum() sim.Duration { return s.quantum }
 
 // NextRelease implements Scheduler: the baseline never throttles.
 func (s *DecayScheduler) NextRelease(sim.Time) (sim.Time, bool) { return 0, false }
+
+// RunnableCount implements Scheduler: the current run-queue depth.
+func (s *DecayScheduler) RunnableCount() int { return s.set.runnableCount() }

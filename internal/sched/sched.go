@@ -165,6 +165,10 @@ type Scheduler interface {
 	// re-dispatches at that time when Pick returned nil but runnable
 	// threads exist.
 	NextRelease(now sim.Time) (sim.Time, bool)
+	// RunnableCount returns the current run-queue depth (runnable
+	// entities, including any on CPU) — sampled by the telemetry usage
+	// timeline as the machine's scheduler backlog.
+	RunnableCount() int
 }
 
 // entitySet is the shared registered-entity bookkeeping. Alongside the
@@ -177,6 +181,9 @@ type entitySet struct {
 	runnable []*Entity // runnable entities, ascending by seq
 	nextSeq  uint64
 }
+
+// runnableCount returns the size of the runnable subset.
+func (s *entitySet) runnableCount() int { return len(s.runnable) }
 
 func (s *entitySet) register(e *Entity) {
 	e.seq = s.nextSeq

@@ -146,6 +146,7 @@ type Engine struct {
 	queue   eventQueue
 	seq     uint64
 	rng     *RNG
+	seed    int64
 	stopped bool
 	fired   uint64
 	// free is the event recycling list: fired and cancelled events return
@@ -157,11 +158,15 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero and a deterministic
 // RNG seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: NewRNG(seed)}
+	return &Engine{rng: NewRNG(seed), seed: seed}
 }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine's RNG was created with, so exporters
+// can stamp output with the run's identity.
+func (e *Engine) Seed() int64 { return e.seed }
 
 // Rand returns the engine's deterministic random number generator.
 func (e *Engine) Rand() *RNG { return e.rng }

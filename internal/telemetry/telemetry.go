@@ -1,0 +1,363 @@
+// Package telemetry is the simulator's observability layer: a structured
+// trace ring, per-principal usage timelines sampled on a virtual-time
+// ticker, and a virtual-CPU profile attributing every simulated CPU
+// microsecond to (principal × kernel stage) — the paper's "the kernel
+// knows where every microsecond went" accounting (§4.6, Figs 11–14) as a
+// queryable table instead of a bespoke experiment.
+//
+// A Collector is attached to a kernel with Kernel.AttachTelemetry; every
+// instrumentation point in the kernel is guarded by a nil check, so a
+// detached collector costs nothing on the hot paths. All output is
+// deterministic: principals are identified by name (never by numeric
+// container ID, which is allocated from a process-global counter and is
+// not stable across parallel runs), durations are exported as integer
+// nanoseconds, and every exporter writes rows in a total order.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rescon/internal/metrics"
+	"rescon/internal/sim"
+	"rescon/internal/trace"
+)
+
+// Defaults used by Config fields left zero.
+const (
+	DefaultTraceCapacity    = 4096
+	DefaultTimelineCapacity = 4096
+	DefaultSampleInterval   = sim.Millisecond
+)
+
+// Config sizes a Collector.
+type Config struct {
+	// TraceCapacity bounds the structured trace ring (events retained).
+	TraceCapacity int
+	// TimelineCapacity bounds the usage-timeline ring (samples retained).
+	TimelineCapacity int
+	// SampleInterval is the virtual-time period between timeline samples.
+	SampleInterval sim.Duration
+}
+
+// Sample is one usage-timeline row: the state of one principal at one
+// sampling instant. CPU, Drops and Dispatches are cumulative (consumers
+// difference adjacent samples for rates); queue depths are instantaneous
+// with BacklogHi the high-water mark since the start of the run.
+type Sample struct {
+	At        sim.Time
+	Principal string
+	// CPU is the cumulative CPU time consumed by the principal.
+	CPU sim.Duration
+	// Backlog is the pending-protocol queue depth (packets awaiting
+	// protocol processing); BacklogHi is its high-water mark.
+	Backlog   int
+	BacklogHi int
+	// ListenQ is the accept-queue depth of the principal's listen socket.
+	ListenQ int
+	// DiskQ is the pending disk-request queue depth.
+	DiskQ int
+	// Drops is the cumulative count of packets dropped while charged to
+	// the principal.
+	Drops uint64
+	// Dispatches is the cumulative count of CPU slices the scheduler has
+	// granted the principal.
+	Dispatches uint64
+}
+
+// ProfileRow is one cell of the virtual-CPU profile: the total CPU time
+// attributed to one principal at one kernel stage.
+type ProfileRow struct {
+	Principal string
+	Stage     trace.Stage
+	CPU       sim.Duration
+}
+
+type stageKey struct {
+	principal string
+	stage     trace.Stage
+}
+
+// Collector accumulates trace events, timeline samples and the
+// virtual-CPU profile for one kernel. It is not safe for concurrent use;
+// like the rest of the simulation it lives on a single goroutine.
+type Collector struct {
+	cfg    Config
+	tracer *trace.Tracer
+
+	// timeline ring
+	samples []Sample
+	next    int
+	full    bool
+
+	profile       map[stageKey]sim.Duration
+	dispatches    map[string]uint64
+	totalDispatch uint64
+
+	// run identity, stamped into exporter headers.
+	seed int64
+	mode string
+}
+
+// New returns a collector sized by cfg (zero fields take the package
+// defaults).
+func New(cfg Config) *Collector {
+	if cfg.TraceCapacity <= 0 {
+		cfg.TraceCapacity = DefaultTraceCapacity
+	}
+	if cfg.TimelineCapacity <= 0 {
+		cfg.TimelineCapacity = DefaultTimelineCapacity
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = DefaultSampleInterval
+	}
+	return &Collector{
+		cfg:        cfg,
+		tracer:     trace.New(cfg.TraceCapacity),
+		samples:    make([]Sample, cfg.TimelineCapacity),
+		profile:    make(map[stageKey]sim.Duration),
+		dispatches: make(map[string]uint64),
+	}
+}
+
+// Tracer returns the collector's structured trace ring; the kernel
+// installs it as its Tracer when the collector is attached.
+func (c *Collector) Tracer() *trace.Tracer {
+	if c == nil {
+		return nil
+	}
+	return c.tracer
+}
+
+// Interval returns the timeline sampling period.
+func (c *Collector) Interval() sim.Duration { return c.cfg.SampleInterval }
+
+// SetRun stamps the collector with the run's identity (engine seed and
+// kernel mode) for exporter headers. The kernel calls it on attach.
+func (c *Collector) SetRun(seed int64, mode string) {
+	c.seed, c.mode = seed, mode
+}
+
+// ChargeStage attributes d of simulated CPU to (principal, stage) in the
+// virtual-CPU profile. Nil-safe: a detached collector is a no-op.
+func (c *Collector) ChargeStage(principal string, stage trace.Stage, d sim.Duration) {
+	if c == nil || d <= 0 {
+		return
+	}
+	c.profile[stageKey{principal, stage}] += d
+}
+
+// CountDispatch counts one scheduler dispatch of the principal. Nil-safe.
+func (c *Collector) CountDispatch(principal string) {
+	if c == nil {
+		return
+	}
+	c.dispatches[principal]++
+	c.totalDispatch++
+}
+
+// TotalDispatches returns the cumulative dispatch count across all
+// principals.
+func (c *Collector) TotalDispatches() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.totalDispatch
+}
+
+// Dispatches returns the cumulative dispatch count for the principal.
+func (c *Collector) Dispatches(principal string) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.dispatches[principal]
+}
+
+// Record appends a timeline sample, evicting the oldest when the ring is
+// full. Nil-safe.
+func (c *Collector) Record(s Sample) {
+	if c == nil {
+		return
+	}
+	c.samples[c.next] = s
+	c.next++
+	if c.next == len(c.samples) {
+		c.next = 0
+		c.full = true
+	}
+}
+
+// Samples returns the retained timeline samples in record order.
+func (c *Collector) Samples() []Sample {
+	if c == nil {
+		return nil
+	}
+	if !c.full {
+		out := make([]Sample, c.next)
+		copy(out, c.samples[:c.next])
+		return out
+	}
+	out := make([]Sample, 0, len(c.samples))
+	out = append(out, c.samples[c.next:]...)
+	out = append(out, c.samples[:c.next]...)
+	return out
+}
+
+// StageCPU returns the profile cell for (principal, stage).
+func (c *Collector) StageCPU(principal string, stage trace.Stage) sim.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.profile[stageKey{principal, stage}]
+}
+
+// TotalCPU sums the whole profile.
+func (c *Collector) TotalCPU() sim.Duration {
+	var total sim.Duration
+	for _, d := range c.profile {
+		total += d
+	}
+	return total
+}
+
+// ProfileRows returns the virtual-CPU profile sorted hottest-first: by
+// CPU descending, then principal, then stage — a total order, so the
+// rendering is identical across runs and across serial/parallel
+// execution.
+func (c *Collector) ProfileRows() []ProfileRow {
+	if c == nil {
+		return nil
+	}
+	rows := make([]ProfileRow, 0, len(c.profile))
+	for k, d := range c.profile {
+		rows = append(rows, ProfileRow{Principal: k.principal, Stage: k.stage, CPU: d})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].CPU != rows[j].CPU {
+			return rows[i].CPU > rows[j].CPU
+		}
+		if rows[i].Principal != rows[j].Principal {
+			return rows[i].Principal < rows[j].Principal
+		}
+		return rows[i].Stage < rows[j].Stage
+	})
+	return rows
+}
+
+// WriteProfile renders the top-table: one row per (principal, stage)
+// profile cell, hottest first, with the share of total attributed CPU.
+// topN <= 0 writes every row. The table uses the same renderer as the
+// experiment drivers (metrics.Table), so profile output matches the
+// rcbench idiom.
+func (c *Collector) WriteProfile(w io.Writer, topN int) {
+	rows := c.ProfileRows()
+	total := c.TotalCPU()
+	t := metrics.NewTable("", "PRINCIPAL", "STAGE", "CPU", "SHARE")
+	for i, r := range rows {
+		if topN > 0 && i >= topN {
+			t.AddRow(fmt.Sprintf("... (%d more rows)", len(rows)-topN), "", "", "")
+			break
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.CPU) / float64(total)
+		}
+		t.AddRow(r.Principal, r.Stage.String(), r.CPU.String(), fmt.Sprintf("%.2f%%", share))
+	}
+	t.AddRow("TOTAL", "-", total.String(), "100.00%")
+	t.Render(w)
+}
+
+// jstr renders a JSON string with deterministic escaping.
+func jstr(s string) string { return strconv.Quote(s) }
+
+// WriteJSONL writes the full structured dump as one JSON object per
+// line: a meta header, every retained trace event, every timeline
+// sample, and every profile row. Encoding is hand-rolled so field order
+// and number formatting are byte-stable; all durations are integer
+// nanoseconds.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"type":"meta","seed":%d,"mode":%s,"interval_ns":%d,"events_total":%d}`+"\n",
+		c.seed, jstr(c.mode), int64(c.cfg.SampleInterval), c.tracer.Total())
+	for _, e := range c.tracer.Events() {
+		fmt.Fprintf(&b, `{"type":"event","at_ns":%d,"kind":%s,"cpu":%d,"stage":%s,"principal":%s,"conn":%d,"cost_ns":%d,"detail":%s}`+"\n",
+			int64(e.At), jstr(string(e.Kind)), e.CPU, jstr(e.Stage.String()),
+			jstr(e.Principal), e.Conn, int64(e.Cost), jstr(e.Detail))
+	}
+	for _, s := range c.Samples() {
+		fmt.Fprintf(&b, `{"type":"sample","at_ns":%d,"principal":%s,"cpu_ns":%d,"backlog":%d,"backlog_hi":%d,"listenq":%d,"diskq":%d,"drops":%d,"dispatches":%d}`+"\n",
+			int64(s.At), jstr(s.Principal), int64(s.CPU), s.Backlog, s.BacklogHi,
+			s.ListenQ, s.DiskQ, s.Drops, s.Dispatches)
+	}
+	for _, r := range c.ProfileRows() {
+		fmt.Fprintf(&b, `{"type":"profile","principal":%s,"stage":%s,"cpu_ns":%d}`+"\n",
+			jstr(r.Principal), jstr(r.Stage.String()), int64(r.CPU))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// us renders nanoseconds as fractional microseconds (the trace_event
+// time unit) using integer math, so the text is byte-stable.
+func us(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// WriteChromeTrace writes the collector's contents in Chrome
+// trace_event format (the JSON loaded by chrome://tracing and Perfetto):
+// cost-bearing trace events become "X" duration slices on their CPU's
+// track, instantaneous events become "i" instants, and timeline samples
+// become "C" counter tracks per principal.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		b.WriteString("\n")
+		b.WriteString(line)
+	}
+	for _, e := range c.tracer.Events() {
+		tid := e.CPU
+		if tid < 0 {
+			tid = 0
+		}
+		name := e.Detail
+		if name == "" {
+			name = string(e.Kind)
+		}
+		args := fmt.Sprintf(`{"principal":%s,"stage":%s,"conn":%d}`,
+			jstr(e.Principal), jstr(e.Stage.String()), e.Conn)
+		if e.Cost > 0 {
+			emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":%s}`,
+				jstr(name), jstr(string(e.Kind)), us(int64(e.At)), us(int64(e.Cost)), tid, args))
+		} else {
+			emit(fmt.Sprintf(`{"name":%s,"cat":%s,"ph":"i","s":"t","ts":%s,"pid":1,"tid":%d,"args":%s}`,
+				jstr(name), jstr(string(e.Kind)), us(int64(e.At)), tid, args))
+		}
+	}
+	for _, s := range c.Samples() {
+		emit(fmt.Sprintf(`{"name":%s,"ph":"C","ts":%s,"pid":1,"args":{"cpu_ms":%s,"backlog":%d,"listenq":%d,"diskq":%d,"drops":%d}}`,
+			jstr("timeline:"+s.Principal), us(int64(s.At)), us(int64(s.CPU)), s.Backlog, s.ListenQ, s.DiskQ, s.Drops))
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

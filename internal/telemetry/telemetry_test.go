@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"rescon/internal/sim"
+	"rescon/internal/trace"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := New(Config{})
+	if c.cfg.TraceCapacity != DefaultTraceCapacity {
+		t.Errorf("TraceCapacity = %d, want %d", c.cfg.TraceCapacity, DefaultTraceCapacity)
+	}
+	if c.cfg.TimelineCapacity != DefaultTimelineCapacity {
+		t.Errorf("TimelineCapacity = %d, want %d", c.cfg.TimelineCapacity, DefaultTimelineCapacity)
+	}
+	if c.Interval() != DefaultSampleInterval {
+		t.Errorf("Interval = %v, want %v", c.Interval(), DefaultSampleInterval)
+	}
+	if c.Tracer() == nil {
+		t.Fatal("Tracer() = nil")
+	}
+}
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	c.ChargeStage("x", trace.StageUser, sim.Millisecond)
+	c.CountDispatch("x")
+	c.Record(Sample{})
+	if c.Tracer() != nil || c.Samples() != nil || c.ProfileRows() != nil {
+		t.Error("nil collector should return nil views")
+	}
+	if c.StageCPU("x", trace.StageUser) != 0 || c.TotalDispatches() != 0 || c.Dispatches("x") != 0 {
+		t.Error("nil collector should report zero counters")
+	}
+	if err := c.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Errorf("nil WriteJSONL: %v", err)
+	}
+	if err := c.WriteChromeTrace(&strings.Builder{}); err != nil {
+		t.Errorf("nil WriteChromeTrace: %v", err)
+	}
+}
+
+func TestTimelineRingEviction(t *testing.T) {
+	c := New(Config{TimelineCapacity: 4})
+	for i := 1; i <= 6; i++ {
+		c.Record(Sample{At: sim.Time(i), Principal: "p"})
+	}
+	got := c.Samples()
+	if len(got) != 4 {
+		t.Fatalf("retained %d samples, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := sim.Time(i + 3); s.At != want {
+			t.Errorf("sample %d At = %v, want %v (oldest evicted, record order kept)", i, s.At, want)
+		}
+	}
+}
+
+func TestProfileAccumulationAndSorting(t *testing.T) {
+	c := New(Config{})
+	c.ChargeStage("b", trace.StageUser, 10)
+	c.ChargeStage("b", trace.StageUser, 5) // accumulates into the same cell
+	c.ChargeStage("a", trace.StageSocket, 15)
+	c.ChargeStage("a", trace.StageInterrupt, 40)
+	c.ChargeStage("a", trace.StageIP, 15)
+	c.ChargeStage("zero", trace.StageDisk, 0) // ignored
+	c.ChargeStage("neg", trace.StageDisk, -3) // ignored
+	if got := c.StageCPU("b", trace.StageUser); got != 15 {
+		t.Errorf("StageCPU(b,user) = %v, want 15", got)
+	}
+	if got := c.TotalCPU(); got != 85 {
+		t.Errorf("TotalCPU = %v, want 85", got)
+	}
+	rows := c.ProfileRows()
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	// CPU desc, then principal asc, then stage asc.
+	want := []ProfileRow{
+		{"a", trace.StageInterrupt, 40},
+		{"a", trace.StageIP, 15},
+		{"a", trace.StageSocket, 15},
+		{"b", trace.StageUser, 15},
+	}
+	for i, r := range rows {
+		if r != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestDispatchCounters(t *testing.T) {
+	c := New(Config{})
+	c.CountDispatch("a")
+	c.CountDispatch("a")
+	c.CountDispatch("b")
+	if c.TotalDispatches() != 3 {
+		t.Errorf("TotalDispatches = %d, want 3", c.TotalDispatches())
+	}
+	if c.Dispatches("a") != 2 || c.Dispatches("b") != 1 || c.Dispatches("c") != 0 {
+		t.Errorf("per-principal dispatches wrong: a=%d b=%d c=%d",
+			c.Dispatches("a"), c.Dispatches("b"), c.Dispatches("c"))
+	}
+}
+
+// fill populates a collector with a fixed scene covering every record
+// type the exporters render.
+func fill(c *Collector) {
+	c.SetRun(42, "RC")
+	c.Tracer().Emit(trace.Event{
+		At: 1000, Kind: trace.KindDispatch, CPU: 0, Stage: trace.StageUser,
+		Principal: "httpd", Conn: 7, Cost: 500, Detail: `run "main"`,
+	})
+	c.Tracer().Emit(trace.Event{
+		At: 2000, Kind: trace.KindDrop, CPU: -1, Principal: "attackers",
+	})
+	c.Record(Sample{At: 1000, Principal: "httpd", CPU: 500, Backlog: 2,
+		BacklogHi: 3, ListenQ: 1, DiskQ: 0, Drops: 4, Dispatches: 9})
+	c.ChargeStage("httpd", trace.StageUser, 500)
+	c.ChargeStage("attackers", trace.StageInterrupt, 900)
+	c.CountDispatch("httpd")
+}
+
+func TestWriteJSONL(t *testing.T) {
+	c := New(Config{})
+	fill(c)
+	var b strings.Builder
+	if err := c.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`{"type":"meta","seed":42,"mode":"RC","interval_ns":1000000,"events_total":2}`,
+		`"type":"event","at_ns":1000,"kind":"dispatch","cpu":0,"stage":"user","principal":"httpd","conn":7,"cost_ns":500,"detail":"run \"main\""`,
+		`"type":"sample","at_ns":1000,"principal":"httpd","cpu_ns":500,"backlog":2,"backlog_hi":3,"listenq":1,"diskq":0,"drops":4,"dispatches":9`,
+		`"type":"profile","principal":"attackers","stage":"interrupt","cpu_ns":900`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSONL missing %s\ngot:\n%s", want, out)
+		}
+	}
+	// Profile rows render hottest-first.
+	if strings.Index(out, `"principal":"attackers","stage":"interrupt"`) >
+		strings.Index(out, `"principal":"httpd","stage":"user","cpu_ns":500`) {
+		t.Error("profile rows not sorted hottest-first in JSONL")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	c := New(Config{})
+	fill(c)
+	var b strings.Builder
+	if err := c.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, `{"displayTimeUnit":"ms","traceEvents":[`) {
+		t.Errorf("bad header: %q", out[:40])
+	}
+	for _, want := range []string{
+		`"ph":"X","ts":1.000,"dur":0.500,"pid":1,"tid":0`, // cost-bearing event
+		`"ph":"i"`,                          // zero-cost instant (drop)
+		`{"name":"timeline:httpd","ph":"C"`, // counter track
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Chrome trace missing %s\ngot:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteProfileTopTable(t *testing.T) {
+	c := New(Config{})
+	fill(c)
+	var b strings.Builder
+	c.WriteProfile(&b, 1)
+	out := b.String()
+	if !strings.Contains(out, "PRINCIPAL") || !strings.Contains(out, "SHARE") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "attackers") {
+		t.Errorf("hottest row missing:\n%s", out)
+	}
+	if strings.Contains(out, "httpd") {
+		t.Errorf("topN=1 should cut the second row:\n%s", out)
+	}
+	if !strings.Contains(out, "... (1 more rows)") || !strings.Contains(out, "TOTAL") {
+		t.Errorf("missing truncation marker or TOTAL:\n%s", out)
+	}
+}
+
+// TestExportersDeterministic builds the same scene twice and checks every
+// exporter emits byte-identical output.
+func TestExportersDeterministic(t *testing.T) {
+	render := func() (string, string, string) {
+		c := New(Config{})
+		fill(c)
+		var j, ch, p strings.Builder
+		if err := c.WriteJSONL(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteChromeTrace(&ch); err != nil {
+			t.Fatal(err)
+		}
+		c.WriteProfile(&p, 0)
+		return j.String(), ch.String(), p.String()
+	}
+	j1, c1, p1 := render()
+	j2, c2, p2 := render()
+	if j1 != j2 {
+		t.Error("JSONL output differs between identical runs")
+	}
+	if c1 != c2 {
+		t.Error("Chrome trace output differs between identical runs")
+	}
+	if p1 != p2 {
+		t.Error("profile output differs between identical runs")
+	}
+}
+
+func TestUsFormatter(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0.000"}, {1, "0.001"}, {999, "0.999"}, {1000, "1.000"},
+		{1500, "1.500"}, {2_000_003, "2000.003"}, {-1500, "-1.500"},
+	}
+	for _, c := range cases {
+		if got := us(c.ns); got != c.want {
+			t.Errorf("us(%d) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}

@@ -1,6 +1,8 @@
-// Package trace provides a bounded, deterministic event log for the
-// simulated kernel. Tracing is off unless a Tracer is attached, so the
-// hot paths pay only a nil check.
+// Package trace provides a bounded, deterministic, structured event log
+// for the simulated kernel. Tracing is off unless a Tracer is attached,
+// so the hot paths pay only a nil check; call sites that must format
+// details guard the work with Enabled so a detached or filtered tracer
+// costs nothing.
 package trace
 
 import (
@@ -27,16 +29,84 @@ const (
 	KindCrash     Kind = "crash"     // server worker crash / restart
 )
 
-// Event is one trace record.
-type Event struct {
-	At     sim.Time
-	Kind   Kind
-	Detail string
+// Stage identifies the kernel execution stage CPU time is attributed to —
+// the rows of the paper's "who paid for this microsecond" accounting
+// (§4.6, Fig 14). StageNone marks events that carry no CPU attribution.
+type Stage uint8
+
+// Kernel execution stages, in pipeline order.
+const (
+	StageNone      Stage = iota
+	StageInterrupt       // NIC interrupt handling
+	StageIP              // early demultiplexing / IP-level classification
+	StageSocket          // protocol and socket-layer processing
+	StageSyscall         // kernel-mode work in syscall context
+	StageUser            // user-mode application work
+	StageDisk            // disk device occupancy
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageNone:
+		return "-"
+	case StageInterrupt:
+		return "interrupt"
+	case StageIP:
+		return "ip"
+	case StageSocket:
+		return "socket"
+	case StageSyscall:
+		return "syscall"
+	case StageUser:
+		return "user"
+	case StageDisk:
+		return "disk"
+	default:
+		return fmt.Sprintf("Stage(%d)", int(s))
+	}
 }
 
-// String formats the event as one log line.
+// Event is one structured trace record. Principal names the resource
+// principal involved (a container or scheduler-entity name — never a
+// numeric container ID, which is not stable across parallel runs); CPU is
+// the processor index (-1 when no processor is involved); Conn is the
+// kernel connection identifier (0 when not connection-scoped); Cost is
+// the CPU time the event accounts for (0 for instantaneous events).
+type Event struct {
+	At        sim.Time
+	Kind      Kind
+	CPU       int
+	Stage     Stage
+	Principal string
+	Conn      uint64
+	Cost      sim.Duration
+	Detail    string
+}
+
+// String formats the event as one log line, structured fields first.
 func (e Event) String() string {
-	return fmt.Sprintf("%-12v %-10s %s", e.At, e.Kind, e.Detail)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12v %-10s", e.At, e.Kind)
+	if e.CPU >= 0 {
+		fmt.Fprintf(&b, " cpu%d", e.CPU)
+	}
+	if e.Stage != StageNone {
+		fmt.Fprintf(&b, " stage=%s", e.Stage)
+	}
+	if e.Principal != "" {
+		fmt.Fprintf(&b, " [%s]", e.Principal)
+	}
+	if e.Conn != 0 {
+		fmt.Fprintf(&b, " conn=%d", e.Conn)
+	}
+	if e.Cost != 0 {
+		fmt.Fprintf(&b, " cost=%v", e.Cost)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	return b.String()
 }
 
 // Tracer is a bounded ring of events.
@@ -57,21 +127,39 @@ func New(capacity int) *Tracer {
 	return &Tracer{events: make([]Event, capacity)}
 }
 
-// Emit records an event (subject to the filter).
-func (t *Tracer) Emit(at sim.Time, kind Kind, format string, args ...any) {
+// Enabled reports whether events of the kind would be recorded. Call
+// sites use it to skip detail formatting when the tracer is detached or
+// the kind is filtered out.
+func (t *Tracer) Enabled(kind Kind) bool {
 	if t == nil {
+		return false
+	}
+	return t.Filter == nil || t.Filter[kind]
+}
+
+// Emit records an event (subject to the filter). If the event's CPU field
+// was left at its zero value the event is treated as processor-less
+// (CPU -1); processor-scoped emitters must set CPU explicitly.
+func (t *Tracer) Emit(e Event) {
+	if !t.Enabled(e.Kind) {
 		return
 	}
-	if t.Filter != nil && !t.Filter[kind] {
-		return
-	}
-	t.events[t.next] = Event{At: at, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	t.events[t.next] = e
 	t.next++
 	t.total++
 	if t.next == len(t.events) {
 		t.next = 0
 		t.full = true
 	}
+}
+
+// Emitf records a detail-only event, formatting lazily: the format is not
+// evaluated when the tracer is detached or the kind filtered.
+func (t *Tracer) Emitf(at sim.Time, kind Kind, format string, args ...any) {
+	if !t.Enabled(kind) {
+		return
+	}
+	t.Emit(Event{At: at, Kind: kind, CPU: -1, Detail: fmt.Sprintf(format, args...)})
 }
 
 // Total returns how many events have been emitted (including evicted).

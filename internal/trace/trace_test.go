@@ -10,7 +10,7 @@ import (
 func TestEmitAndEvents(t *testing.T) {
 	tr := New(8)
 	for i := 0; i < 5; i++ {
-		tr.Emit(sim.Time(i), KindPacket, "pkt %d", i)
+		tr.Emitf(sim.Time(i), KindPacket, "pkt %d", i)
 	}
 	evs := tr.Events()
 	if len(evs) != 5 {
@@ -26,10 +26,55 @@ func TestEmitAndEvents(t *testing.T) {
 	}
 }
 
+func TestStructuredEvent(t *testing.T) {
+	tr := New(8)
+	tr.Emit(Event{
+		At:        sim.Time(3 * sim.Millisecond),
+		Kind:      KindDispatch,
+		CPU:       1,
+		Stage:     StageSocket,
+		Principal: "conn-7",
+		Conn:      7,
+		Cost:      40 * sim.Microsecond,
+		Detail:    "proto:DATA",
+	})
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events %d", len(evs))
+	}
+	e := evs[0]
+	if e.Stage != StageSocket || e.Principal != "conn-7" || e.Conn != 7 {
+		t.Fatalf("structured fields lost: %+v", e)
+	}
+	line := e.String()
+	for _, want := range []string{"dispatch", "cpu1", "stage=socket", "[conn-7]", "conn=7", "cost=", "proto:DATA"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("rendered line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestStageString(t *testing.T) {
+	cases := map[Stage]string{
+		StageNone:      "-",
+		StageInterrupt: "interrupt",
+		StageIP:        "ip",
+		StageSocket:    "socket",
+		StageSyscall:   "syscall",
+		StageUser:      "user",
+		StageDisk:      "disk",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Fatalf("Stage(%d) = %q, want %q", s, got, want)
+		}
+	}
+}
+
 func TestRingEviction(t *testing.T) {
 	tr := New(4)
 	for i := 0; i < 10; i++ {
-		tr.Emit(sim.Time(i), KindConn, "e%d", i)
+		tr.Emitf(sim.Time(i), KindConn, "e%d", i)
 	}
 	evs := tr.Events()
 	if len(evs) != 4 {
@@ -49,22 +94,32 @@ func TestRingEviction(t *testing.T) {
 func TestFilter(t *testing.T) {
 	tr := New(8)
 	tr.Filter = map[Kind]bool{KindDrop: true}
-	tr.Emit(0, KindPacket, "ignored")
-	tr.Emit(0, KindDrop, "kept")
+	tr.Emitf(0, KindPacket, "ignored")
+	tr.Emitf(0, KindDrop, "kept")
 	evs := tr.Events()
 	if len(evs) != 1 || evs[0].Kind != KindDrop {
 		t.Fatalf("filter failed: %v", evs)
+	}
+	if tr.Enabled(KindPacket) {
+		t.Fatal("filtered kind reported enabled")
+	}
+	if !tr.Enabled(KindDrop) {
+		t.Fatal("kept kind reported disabled")
 	}
 }
 
 func TestNilTracerSafe(t *testing.T) {
 	var tr *Tracer
-	tr.Emit(0, KindPacket, "no-op") // must not panic
+	tr.Emitf(0, KindPacket, "no-op") // must not panic
+	tr.Emit(Event{Kind: KindDrop})   // must not panic
+	if tr.Enabled(KindPacket) {
+		t.Fatal("nil tracer reported enabled")
+	}
 }
 
 func TestDumpFormat(t *testing.T) {
 	tr := New(4)
-	tr.Emit(sim.Time(sim.Millisecond), KindDrop, "SYN queue full")
+	tr.Emitf(sim.Time(sim.Millisecond), KindDrop, "SYN queue full")
 	out := tr.String()
 	if !strings.Contains(out, "drop") || !strings.Contains(out, "SYN queue full") {
 		t.Fatalf("dump: %q", out)
@@ -74,7 +129,7 @@ func TestDumpFormat(t *testing.T) {
 func TestDefaultCapacity(t *testing.T) {
 	tr := New(0)
 	for i := 0; i < 2000; i++ {
-		tr.Emit(sim.Time(i), KindConn, "e")
+		tr.Emitf(sim.Time(i), KindConn, "e")
 	}
 	if len(tr.Events()) != 1024 {
 		t.Fatalf("default capacity: %d", len(tr.Events()))

@@ -9,6 +9,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 
 	"rescon/internal/httpsim"
@@ -64,6 +65,26 @@ type ClientConfig struct {
 	AbortRate float64
 }
 
+// Validate reports whether the configuration can produce a working
+// client: a kernel to inject packets into and usable endpoints. It is
+// called by StartClient, so a broken config surfaces as an error at
+// start rather than a panic deep in the engine.
+func (cfg ClientConfig) Validate() error {
+	if cfg.Kernel == nil {
+		return errors.New("workload: ClientConfig.Kernel is nil")
+	}
+	if cfg.Src.IP == 0 {
+		return errors.New("workload: ClientConfig.Src has no IP address")
+	}
+	if cfg.Dst.IP == 0 || cfg.Dst.Port == 0 {
+		return fmt.Errorf("workload: ClientConfig.Dst %v is not a usable endpoint", cfg.Dst)
+	}
+	if cfg.AbortRate < 0 || cfg.AbortRate > 1 {
+		return fmt.Errorf("workload: ClientConfig.AbortRate %v outside [0,1]", cfg.AbortRate)
+	}
+	return nil
+}
+
 // Client is a closed-loop request generator: at most one outstanding
 // request, like one S-Client slot.
 type Client struct {
@@ -93,8 +114,12 @@ type Client struct {
 	stopped  bool
 }
 
-// StartClient launches the client's request loop immediately.
-func StartClient(cfg ClientConfig) *Client {
+// StartClient validates the configuration and launches the client's
+// request loop immediately.
+func StartClient(cfg ClientConfig) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.ConnectTimeout <= 0 {
 		cfg.ConnectTimeout = 3 * sim.Second
 	}
@@ -118,6 +143,17 @@ func StartClient(cfg ClientConfig) *Client {
 		c.eng.After(c.rng.Uniform(0, cfg.Think), func() { c.startRequest() })
 	} else {
 		c.startRequest()
+	}
+	return c, nil
+}
+
+// MustStartClient is StartClient for callers whose configuration is
+// known good (tests and experiment drivers); it panics on a validation
+// error.
+func MustStartClient(cfg ClientConfig) *Client {
+	c, err := StartClient(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }
@@ -307,14 +343,32 @@ type Population struct {
 	Clients []*Client
 }
 
-// StartPopulation launches n clients. Each gets a distinct source IP
-// derived from base (base+1, base+2, ...), so filters can address them.
-func StartPopulation(n int, base ClientConfig) *Population {
+// StartPopulation validates the base configuration and launches n
+// clients. Each gets a distinct source IP derived from base (base+1,
+// base+2, ...), so filters can address them.
+func StartPopulation(n int, base ClientConfig) (*Population, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
 	p := &Population{}
 	for i := 0; i < n; i++ {
 		cfg := base
 		cfg.Src.IP = base.Src.IP + netsim.IP(i)
-		p.Clients = append(p.Clients, StartClient(cfg))
+		c, err := StartClient(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.Clients = append(p.Clients, c)
+	}
+	return p, nil
+}
+
+// MustStartPopulation is StartPopulation for callers whose configuration
+// is known good; it panics on a validation error.
+func MustStartPopulation(n int, base ClientConfig) *Population {
+	p, err := StartPopulation(n, base)
+	if err != nil {
+		panic(err)
 	}
 	return p
 }

@@ -61,7 +61,7 @@ func newTestKernel() (*sim.Engine, *kernel.Kernel) {
 func TestClientClosedLoop(t *testing.T) {
 	eng, k := newTestKernel()
 	echoServer(t, k)
-	c := StartClient(ClientConfig{
+	c := MustStartClient(ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -85,7 +85,7 @@ func TestClientClosedLoop(t *testing.T) {
 func TestClientThinkTimeLimitsRate(t *testing.T) {
 	eng, k := newTestKernel()
 	echoServer(t, k)
-	c := StartClient(ClientConfig{
+	c := MustStartClient(ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -103,7 +103,7 @@ func TestClientThinkTimeLimitsRate(t *testing.T) {
 func TestClientPersistentSingleConnection(t *testing.T) {
 	eng, k := newTestKernel()
 	echoServer(t, k)
-	c := StartClient(ClientConfig{
+	c := MustStartClient(ClientConfig{
 		Kernel:     k,
 		Src:        kernel.Addr("10.1.0.1", 1024),
 		Dst:        srvAddr,
@@ -116,7 +116,7 @@ func TestClientPersistentSingleConnection(t *testing.T) {
 	// Persistent clients are faster than conn-per-request ones: compare.
 	eng2, k2 := newTestKernel()
 	echoServer(t, k2)
-	c2 := StartClient(ClientConfig{
+	c2 := MustStartClient(ClientConfig{
 		Kernel: k2,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -131,7 +131,7 @@ func TestClientPersistentSingleConnection(t *testing.T) {
 func TestClientConnectTimeoutRetries(t *testing.T) {
 	eng, k := newTestKernel()
 	// No server listening: every SYN is dropped silently.
-	c := StartClient(ClientConfig{
+	c := MustStartClient(ClientConfig{
 		Kernel:         k,
 		Src:            kernel.Addr("10.1.0.1", 1024),
 		Dst:            srvAddr,
@@ -149,7 +149,7 @@ func TestClientConnectTimeoutRetries(t *testing.T) {
 func TestClientStop(t *testing.T) {
 	eng, k := newTestKernel()
 	echoServer(t, k)
-	c := StartClient(ClientConfig{
+	c := MustStartClient(ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -166,7 +166,7 @@ func TestClientStop(t *testing.T) {
 func TestClientResetStats(t *testing.T) {
 	eng, k := newTestKernel()
 	echoServer(t, k)
-	c := StartClient(ClientConfig{
+	c := MustStartClient(ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -185,7 +185,7 @@ func TestClientResetStats(t *testing.T) {
 func TestPopulationDistinctIPs(t *testing.T) {
 	eng, k := newTestKernel()
 	echoServer(t, k)
-	pop := StartPopulation(4, ClientConfig{
+	pop := MustStartPopulation(4, ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -215,7 +215,7 @@ func TestPopulationDistinctIPs(t *testing.T) {
 func TestPopulationStopAndReset(t *testing.T) {
 	eng, k := newTestKernel()
 	echoServer(t, k)
-	pop := StartPopulation(3, ClientConfig{
+	pop := MustStartPopulation(3, ClientConfig{
 		Kernel: k,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,
@@ -245,7 +245,7 @@ func TestDeterminism(t *testing.T) {
 	run := func() (uint64, float64) {
 		eng, k := newTestKernel()
 		echoServer(t, k)
-		pop := StartPopulation(8, ClientConfig{
+		pop := MustStartPopulation(8, ClientConfig{
 			Kernel: k,
 			Src:    kernel.Addr("10.1.0.1", 1024),
 			Dst:    srvAddr,
@@ -379,7 +379,7 @@ func TestClientsSurviveWireLoss(t *testing.T) {
 	eng, k := newTestKernel()
 	k.WireLossRate = 0.2
 	echoServer(t, k)
-	pop := StartPopulation(4, ClientConfig{
+	pop := MustStartPopulation(4, ClientConfig{
 		Kernel:         k,
 		Src:            kernel.Addr("10.1.0.1", 1024),
 		Dst:            srvAddr,
@@ -400,7 +400,7 @@ func TestClientsSurviveWireLoss(t *testing.T) {
 	// Compare against a lossless run: loss must cost throughput.
 	eng2, k2 := newTestKernel()
 	echoServer(t, k2)
-	pop2 := StartPopulation(4, ClientConfig{
+	pop2 := MustStartPopulation(4, ClientConfig{
 		Kernel: k2,
 		Src:    kernel.Addr("10.1.0.1", 1024),
 		Dst:    srvAddr,

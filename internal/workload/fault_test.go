@@ -56,7 +56,7 @@ func TestClientBackoffSpacesRetries(t *testing.T) {
 	// the retries spread out, so the attempt count falls well below the
 	// immediate-retry pace of one per ConnectTimeout.
 	eng, k := newTestKernel()
-	c := StartClient(ClientConfig{
+	c := MustStartClient(ClientConfig{
 		Kernel:         k,
 		Src:            kernel.Addr("10.1.0.1", 1024),
 		Dst:            srvAddr,
@@ -78,7 +78,7 @@ func TestClientBackoffSpacesRetries(t *testing.T) {
 
 func TestClientGivesUpAfterMaxRetries(t *testing.T) {
 	eng, k := newTestKernel()
-	c := StartClient(ClientConfig{
+	c := MustStartClient(ClientConfig{
 		Kernel:         k,
 		Src:            kernel.Addr("10.1.0.1", 1024),
 		Dst:            srvAddr,
@@ -104,7 +104,7 @@ func TestClientGivesUpAfterMaxRetries(t *testing.T) {
 func TestClientAbortsMidRequest(t *testing.T) {
 	eng, k := newTestKernel()
 	silentServer(t, k)
-	c := StartClient(ClientConfig{
+	c := MustStartClient(ClientConfig{
 		Kernel:         k,
 		Src:            kernel.Addr("10.1.0.1", 1024),
 		Dst:            srvAddr,

@@ -11,23 +11,47 @@
 //   - Server / MTServer — the event-driven and multi-threaded HTTP server
 //     models of §2
 //   - Client / Population / Flooder — workload generators (§5.2)
+//   - Telemetry — structured tracing, usage timelines and the
+//     virtual-CPU profile (attach with WithTelemetry)
 //
 // # Quick start
 //
-//	s := rescon.NewSim(rescon.ModeRC, 42)
-//	srv, _ := rescon.NewServer(rescon.ServerConfig{
+//	s := rescon.NewSim(rescon.ModeRC, 42,
+//	    rescon.WithTelemetry(rescon.TelemetryConfig{}))
+//	srv, err := rescon.NewServer(rescon.ServerConfig{
 //	    Kernel: s.Kernel, Name: "httpd",
 //	    Addr:   rescon.Addr("10.0.0.1", 80),
 //	    API:    rescon.EventAPI,
 //	    PerConnContainers: true,
 //	})
-//	clients := rescon.StartPopulation(8, rescon.ClientConfig{
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
+//	clients, err := rescon.StartPopulation(8, rescon.ClientConfig{
 //	    Kernel: s.Kernel, Src: rescon.Addr("10.1.0.1", 1024),
 //	    Dst: rescon.Addr("10.0.0.1", 80),
 //	})
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
 //	s.RunFor(5 * rescon.Second)
 //	fmt.Println(clients.Rate(s.Now()), "requests/s")
+//	s.Telemetry.WriteProfile(os.Stdout, 10)
 //	_ = srv
+//
+// # Constructor naming
+//
+// The facade follows one convention throughout: New* constructors are
+// passive — they build a value (and may register callbacks) but schedule
+// no engine work, so virtual time can pass without them doing anything
+// (NewSim, NewContainer, NewServer, NewMTServer, NewFaultInjector,
+// NewInvariantChecker, NewEnforcer, NewTelemetry). Start* constructors
+// put work on the engine before returning — the returned object is
+// already acting and will consume virtual time as soon as the simulation
+// runs (StartClient, StartPopulation, StartFlood, StartCrasher,
+// StartSlowLoris). A Server is New* because it only reacts to kernel
+// upcalls; a Client is Start* because its request loop begins
+// immediately.
 //
 // See the examples/ directory for complete programs and cmd/rcbench for
 // the harness that regenerates every table and figure of the paper.
@@ -43,6 +67,8 @@ import (
 	"rescon/internal/rc"
 	"rescon/internal/rcruntime"
 	"rescon/internal/sim"
+	"rescon/internal/telemetry"
+	"rescon/internal/trace"
 	"rescon/internal/workload"
 )
 
@@ -166,12 +192,25 @@ type (
 	Flooder = workload.Flooder
 )
 
-// StartClient launches one closed-loop client.
-func StartClient(cfg ClientConfig) *Client { return workload.StartClient(cfg) }
+// StartClient validates the configuration and launches one closed-loop
+// client.
+func StartClient(cfg ClientConfig) (*Client, error) { return workload.StartClient(cfg) }
 
-// StartPopulation launches n clients with consecutive source addresses.
-func StartPopulation(n int, cfg ClientConfig) *Population {
+// StartPopulation validates the configuration and launches n clients
+// with consecutive source addresses.
+func StartPopulation(n int, cfg ClientConfig) (*Population, error) {
 	return workload.StartPopulation(n, cfg)
+}
+
+// MustStartClient is StartClient that panics on an invalid configuration;
+// convenient for examples and tests with known-good configs.
+func MustStartClient(cfg ClientConfig) *Client { return workload.MustStartClient(cfg) }
+
+// MustStartPopulation is StartPopulation that panics on an invalid
+// configuration; convenient for examples and tests with known-good
+// configs.
+func MustStartPopulation(n int, cfg ClientConfig) *Population {
+	return workload.MustStartPopulation(n, cfg)
 }
 
 // StartFlood begins a SYN flood; see workload.StartFlood.
@@ -257,30 +296,109 @@ func NewEnforcer(window time.Duration) *Enforcer {
 	return rcruntime.New(nil, window)
 }
 
+// Telemetry and structured tracing (internal/telemetry, internal/trace).
+type (
+	// Telemetry collects structured trace events, per-principal usage
+	// timelines and the virtual-CPU profile for one kernel.
+	Telemetry = telemetry.Collector
+	// TelemetryConfig sizes a Telemetry collector (zero values take
+	// defaults).
+	TelemetryConfig = telemetry.Config
+	// TelemetrySample is one usage-timeline row.
+	TelemetrySample = telemetry.Sample
+	// ProfileRow is one (principal × stage) cell of the virtual-CPU
+	// profile.
+	ProfileRow = telemetry.ProfileRow
+	// Tracer is the bounded structured event ring.
+	Tracer = trace.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = trace.Event
+	// TraceKind classifies trace events.
+	TraceKind = trace.Kind
+	// Stage is the kernel execution stage CPU time is attributed to.
+	Stage = trace.Stage
+)
+
+// Kernel execution stages of the virtual-CPU profile.
+const (
+	StageInterrupt = trace.StageInterrupt
+	StageIP        = trace.StageIP
+	StageSocket    = trace.StageSocket
+	StageSyscall   = trace.StageSyscall
+	StageUser      = trace.StageUser
+	StageDisk      = trace.StageDisk
+)
+
+// NewTelemetry returns a detached telemetry collector; attach it with
+// WithTelemetry (at construction) or Kernel.AttachTelemetry (later).
+func NewTelemetry(cfg TelemetryConfig) *Telemetry { return telemetry.New(cfg) }
+
 // Sim bundles a discrete-event engine with a simulated kernel.
 type Sim struct {
 	Engine *Engine
 	Kernel *Kernel
+	// Telemetry is the attached collector, nil unless WithTelemetry was
+	// used (or a collector was attached to the kernel afterwards).
+	Telemetry *Telemetry
 }
 
-// NewSim creates a deterministic simulation in the given kernel mode.
-func NewSim(mode Mode, seed int64) *Sim {
+// SimOption customizes NewSim.
+type SimOption func(*simOptions)
+
+type simOptions struct {
+	costs CostModel
+	ncpus int
+	tel   *telemetry.Collector
+}
+
+// WithCosts replaces the default (paper-calibrated) cost model.
+func WithCosts(costs CostModel) SimOption {
+	return func(o *simOptions) { o.costs = costs }
+}
+
+// WithCPUs simulates a multiprocessor machine: interrupts go to CPU 0,
+// threads migrate freely, and container shares/limits are fractions of
+// the whole machine.
+func WithCPUs(n int) SimOption {
+	return func(o *simOptions) { o.ncpus = n }
+}
+
+// WithTelemetry attaches a telemetry collector sized by cfg: structured
+// tracing, usage-timeline sampling and virtual-CPU profiling are active
+// from the first event. The collector is reachable as Sim.Telemetry.
+func WithTelemetry(cfg TelemetryConfig) SimOption {
+	return func(o *simOptions) { o.tel = telemetry.New(cfg) }
+}
+
+// NewSim creates a deterministic simulation in the given kernel mode,
+// customized by functional options: WithCosts, WithCPUs, WithTelemetry.
+func NewSim(mode Mode, seed int64, opts ...SimOption) *Sim {
+	o := simOptions{costs: kernel.DefaultCosts(), ncpus: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
 	eng := sim.NewEngine(seed)
-	return &Sim{Engine: eng, Kernel: kernel.New(eng, mode, kernel.DefaultCosts())}
+	k := kernel.NewSMP(eng, mode, o.costs, o.ncpus)
+	s := &Sim{Engine: eng, Kernel: k}
+	if o.tel != nil {
+		k.AttachTelemetry(o.tel)
+		s.Telemetry = o.tel
+	}
+	return s
 }
 
 // NewSimWithCosts creates a simulation with a custom cost model.
+//
+// Deprecated: use NewSim(mode, seed, WithCosts(costs)).
 func NewSimWithCosts(mode Mode, seed int64, costs CostModel) *Sim {
-	eng := sim.NewEngine(seed)
-	return &Sim{Engine: eng, Kernel: kernel.New(eng, mode, costs)}
+	return NewSim(mode, seed, WithCosts(costs))
 }
 
-// NewSMPSim creates a simulation of a multiprocessor machine: interrupts
-// go to CPU 0, threads migrate freely, and container shares/limits are
-// fractions of the whole machine.
+// NewSMPSim creates a simulation of a multiprocessor machine.
+//
+// Deprecated: use NewSim(mode, seed, WithCPUs(ncpus)).
 func NewSMPSim(mode Mode, seed int64, ncpus int) *Sim {
-	eng := sim.NewEngine(seed)
-	return &Sim{Engine: eng, Kernel: kernel.NewSMP(eng, mode, kernel.DefaultCosts(), ncpus)}
+	return NewSim(mode, seed, WithCPUs(ncpus))
 }
 
 // Now returns the current virtual time.

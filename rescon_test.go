@@ -25,12 +25,12 @@ func TestQuickstartFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	clients := StartPopulation(8, ClientConfig{
+	clients := MustStartPopulation(8, ClientConfig{
 		Kernel: s.Kernel,
 		Src:    Addr("10.1.0.1", 1024),
 		Dst:    Addr("10.0.0.1", 80),
 	})
-	vip := StartClient(ClientConfig{
+	vip := MustStartClient(ClientConfig{
 		Kernel: s.Kernel,
 		Src:    Addr("10.9.0.1", 1024),
 		Dst:    Addr("10.0.0.1", 80),
@@ -82,7 +82,7 @@ func TestMTServerPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pop := StartPopulation(8, ClientConfig{
+	pop := MustStartPopulation(8, ClientConfig{
 		Kernel: s.Kernel,
 		Src:    Addr("10.1.0.1", 1024),
 		Dst:    Addr("10.0.0.1", 80),
@@ -117,7 +117,7 @@ func TestSynFloodDefensePublicAPI(t *testing.T) {
 	if _, err := srv.AddListener(CIDR("66.0.0.0", 8), floodCont); err != nil {
 		t.Fatal(err)
 	}
-	good := StartPopulation(16, ClientConfig{
+	good := MustStartPopulation(16, ClientConfig{
 		Kernel: s.Kernel,
 		Src:    Addr("10.1.0.1", 1024),
 		Dst:    Addr("10.0.0.1", 80),
@@ -151,7 +151,7 @@ func TestModesDiffer(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		good := StartPopulation(16, ClientConfig{
+		good := MustStartPopulation(16, ClientConfig{
 			Kernel: s.Kernel,
 			Src:    Addr("10.1.0.1", 1024),
 			Dst:    Addr("10.0.0.1", 80),

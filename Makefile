@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-baseline tier1 ci
+.PHONY: all build vet lint test race bench bench-baseline chaos-smoke chaos-nightly tier1 ci
 
 all: ci
 
@@ -35,6 +35,19 @@ bench:
 bench-baseline:
 	$(GO) test -run - -bench . -benchmem -timeout 30m ./... | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
 
+# Chaos harness smoke: a handful of seeded scenarios, each run under all
+# three kernel modes with the invariant battery and the determinism
+# double-run, under the race detector. Failing seeds shrink to JSON
+# repros in the working directory (chaos-repro-<seed>-<mode>.json).
+chaos-smoke:
+	$(GO) run -race ./cmd/rcchaos -run 8 -seed 1
+
+# The nightly sweep: a much wider seed range (rotate the base seed to
+# cover new ground; CI passes the run date).
+CHAOS_NIGHTLY_SEED ?= 1
+chaos-nightly:
+	$(GO) run ./cmd/rcchaos -run 500 -seed $(CHAOS_NIGHTLY_SEED)
+
 tier1: build race
 
-ci: build lint race
+ci: build lint race chaos-smoke

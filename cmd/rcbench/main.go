@@ -27,6 +27,7 @@ import (
 	"sort"
 	"strings"
 
+	"rescon/internal/chaos"
 	"rescon/internal/experiments"
 	"rescon/internal/metrics"
 	"rescon/internal/sim"
@@ -137,6 +138,19 @@ var runners = []runner{
 		printSeries("Extension: served vs. offered load — overload stability (req/s)",
 			"offered (req/s)", experiments.Overload(opt)...)
 	})},
+	{"chaos", true, func(opt experiments.Options) error {
+		// Short windows (-quick) run fewer scenarios; each scenario runs
+		// under all three kernel modes with the determinism double-run.
+		runs := 10
+		if opt.Window != 0 && opt.Window <= 2*sim.Second {
+			runs = 3 // -quick
+		}
+		if err := chaos.Smoke(runs, uint64(opt.Seed)); err != nil {
+			return err
+		}
+		fmt.Printf("chaos: %d scenario(s) × 3 modes clean (seed %d)\n", runs, opt.Seed)
+		return nil
+	}},
 }
 
 func renderFig12(opt experiments.Options, tput, share bool) {

@@ -1,0 +1,145 @@
+// Command rcchaos drives the deterministic chaos harness: it generates
+// seeded scenarios over the simulated resource-container server, runs
+// each one under all three kernel modes with the full invariant battery
+// and the determinism double-run, and — on failure — shrinks the
+// scenario to a minimal repro and writes it as JSON.
+//
+// Usage:
+//
+//	rcchaos -run 200 -seed 1            # 200 scenarios × 3 modes
+//	rcchaos -repro chaos-repro-42.json  # replay a shipped repro
+//
+// Exit status is non-zero when any run violates an invariant. Repro
+// files land in -out (default ".") as chaos-repro-<seed>-<mode>.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"rescon/internal/chaos"
+)
+
+func main() {
+	var (
+		runs    = flag.Int("run", 20, "number of scenarios to generate and run (each under all three kernel modes)")
+		seed    = flag.Uint64("seed", 1, "first scenario seed; scenario i uses seed+i")
+		repro   = flag.String("repro", "", "replay a repro JSON file instead of generating scenarios")
+		out     = flag.String("out", ".", "directory for repro files of failing scenarios")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scenario runners (each scenario is internally serial)")
+		verbose = flag.Bool("v", false, "print every run, not just failures")
+	)
+	flag.Parse()
+
+	if *repro != "" {
+		os.Exit(replay(*repro))
+	}
+	os.Exit(sweep(*runs, *seed, *out, *workers, *verbose))
+}
+
+// replay loads and re-runs a repro file, printing its outcome.
+func replay(path string) int {
+	sc, err := chaos.LoadScenario(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	r, err := chaos.RunChecked(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("seed %d mode %s: hash %016x, %d violation(s)\n",
+		sc.Seed, sc.Mode, r.Hash, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Println("  " + v)
+	}
+	if r.Failed() {
+		return 1
+	}
+	fmt.Println("repro ran clean (the failure it reproduced is fixed)")
+	return 0
+}
+
+// cell is one (scenario, mode) unit of the sweep.
+type cell struct {
+	sc  chaos.Scenario
+	res *chaos.Result
+	err error
+}
+
+// sweep runs scenarios seed..seed+runs-1 under every kernel mode,
+// fanning cells across workers. Every cell is an independent engine, so
+// parallelism never changes results; reporting stays in deterministic
+// (seed, mode) order. Each failure is shrunk and written as a repro.
+func sweep(runs int, seed uint64, out string, workers int, verbose bool) int {
+	cells := make([]cell, runs*len(chaos.ModeNames))
+	for i := 0; i < runs; i++ {
+		sc := chaos.Generate(seed + uint64(i))
+		for m, mode := range chaos.ModeNames {
+			sc.Mode = mode
+			cells[i*len(chaos.ModeNames)+m] = cell{sc: sc}
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				cells[idx].res, cells[idx].err = chaos.RunChecked(cells[idx].sc)
+			}
+		}()
+	}
+	for idx := range cells {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+
+	failures := 0
+	for _, c := range cells {
+		switch {
+		case c.err != nil:
+			failures++
+			fmt.Fprintf(os.Stderr, "seed %d mode %s: ERROR: %v\n", c.sc.Seed, c.sc.Mode, c.err)
+		case c.res.Failed():
+			failures++
+			fmt.Printf("seed %d mode %s: FAIL (%d violation(s), classes %v)\n",
+				c.sc.Seed, c.sc.Mode, len(c.res.Violations), chaos.Classes(c.res))
+			fmt.Println("  " + c.res.Violations[0])
+			writeRepro(c, out)
+		case verbose:
+			fmt.Printf("seed %d mode %s: ok (hash %016x, %d conns, %d completed)\n",
+				c.sc.Seed, c.sc.Mode, c.res.Hash, c.res.Established, c.res.Completed)
+		}
+	}
+	fmt.Printf("chaos: %d scenario(s) × %d mode(s): %d failure(s)\n",
+		runs, len(chaos.ModeNames), failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeRepro shrinks a failing cell and writes the minimal scenario as
+// an indented JSON repro file.
+func writeRepro(c cell, out string) {
+	class := chaos.Classes(c.res)[0]
+	shrunk := chaos.Shrink(c.sc, class)
+	path := filepath.Join(out, fmt.Sprintf("chaos-repro-%d-%s.json", c.sc.Seed, c.sc.Mode))
+	if err := shrunk.WriteFile(path); err != nil {
+		fmt.Fprintf(os.Stderr, "  writing repro: %v\n", err)
+		return
+	}
+	fmt.Printf("  shrunk to %d container(s), %d workload(s); repro: %s\n",
+		len(shrunk.Containers), len(shrunk.Workloads), path)
+}

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	rctrace [-mode rc|lrp|unmodified] [-dur 2s] [-flood 20000]
-//	        [-events 40] [-kinds drop,conn] [-json]
+//	        [-events 40] [-kinds drop,conn] [-json] [-seed 2026]
 //	        [-profile] [-timeline out.jsonl] [-chrome out.json]
 //
 // The -profile flag prints the virtual-CPU profile: every simulated CPU
@@ -19,7 +19,9 @@
 //
 // -timeline writes the full telemetry stream (structured events, usage
 // timeline samples, profile rows) as JSONL; -chrome writes a Chrome
-// trace_event file loadable in Perfetto / chrome://tracing.
+// trace_event file loadable in Perfetto / chrome://tracing. Both
+// exporters are byte-deterministic for a fixed -seed (the golden tests
+// in this package pin that property).
 package main
 
 import (
@@ -39,6 +41,22 @@ import (
 	"rescon/internal/workload"
 )
 
+// config collects every knob of the tool so the whole scenario is a pure
+// function of its value — main fills it from flags, tests fill it
+// directly and capture the output.
+type config struct {
+	mode     kernel.Mode
+	seed     int64
+	dur      time.Duration
+	flood    float64
+	events   int
+	kinds    string
+	asJSON   bool
+	profile  bool
+	timeline string
+	chrome   string
+}
+
 func parseMode(s string) (kernel.Mode, error) {
 	switch strings.ToLower(s) {
 	case "rc":
@@ -52,10 +70,10 @@ func parseMode(s string) (kernel.Mode, error) {
 	}
 }
 
-// writeTo opens path for writing; "-" means stdout.
-func writeTo(path string, f func(io.Writer) error) error {
+// writeTo opens path for writing; "-" means the tool's stdout.
+func writeTo(path string, stdout io.Writer, f func(io.Writer) error) error {
 	if path == "-" {
-		return f(os.Stdout)
+		return f(stdout)
 	}
 	out, err := os.Create(path)
 	if err != nil {
@@ -70,6 +88,7 @@ func writeTo(path string, f func(io.Writer) error) error {
 
 func main() {
 	mode := flag.String("mode", "rc", "kernel mode: rc, lrp or unmodified")
+	seed := flag.Int64("seed", 2026, "simulation seed")
 	dur := flag.Duration("dur", 2*time.Second, "virtual duration to simulate")
 	flood := flag.Float64("flood", 20_000, "SYN-flood rate (0 disables)")
 	events := flag.Int("events", 40, "trace events to print")
@@ -85,15 +104,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	cfg := config{
+		mode: km, seed: *seed, dur: *dur, flood: *flood, events: *events,
+		kinds: *kinds, asJSON: *asJSON, profile: *profile,
+		timeline: *timeline, chrome: *chrome,
+	}
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
-	eng := sim.NewEngine(2026)
-	k := kernel.New(eng, km, kernel.DefaultCosts())
+// run builds the scenario, simulates it, and writes every requested view
+// to stdout (or the -timeline/-chrome files). It is main minus flag
+// parsing and exit codes, so tests can drive it with a bytes.Buffer.
+func run(cfg config, stdout io.Writer) error {
+	eng := sim.NewEngine(cfg.seed)
+	k := kernel.New(eng, cfg.mode, kernel.DefaultCosts())
 	tel := telemetry.New(telemetry.Config{})
 	k.AttachTelemetry(tel)
 	tr := tel.Tracer()
-	if *kinds != "" {
+	if cfg.kinds != "" {
 		tr.Filter = map[trace.Kind]bool{}
-		for _, s := range strings.Split(*kinds, ",") {
+		for _, s := range strings.Split(cfg.kinds, ",") {
 			tr.Filter[trace.Kind(strings.TrimSpace(s))] = true
 		}
 	}
@@ -101,7 +134,7 @@ func main() {
 	addr := kernel.Addr("10.0.0.1", 80)
 	// Containers only exist on the RC kernel; on the other modes the
 	// server runs bare and the profile shows where misattribution lands.
-	rcMode := km == kernel.ModeRC
+	rcMode := cfg.mode == kernel.ModeRC
 	var root *rc.Container
 	scfg := httpsim.Config{Kernel: k, Name: "httpd", Addr: addr, API: httpsim.EventAPI}
 	if rcMode {
@@ -113,18 +146,15 @@ func main() {
 	}
 	srv, err := httpsim.NewServer(scfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	if rcMode {
 		if err := srv.Process().DefaultContainer.SetParent(root); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		attackers := rc.MustNew(root, rc.TimeShare, "attackers", rc.Attributes{Priority: 0})
 		if _, err := srv.AddListener(kernel.FilterCIDR("66.0.0.0", 8), attackers); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		k.WatchContainer(root)
 		k.WatchContainer(srv.Process().DefaultContainer)
@@ -137,59 +167,56 @@ func main() {
 		Dst:    addr,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	if *flood > 0 {
-		workload.StartFlood(k, sim.Rate(*flood), kernel.Addr("66.0.0.1", 0).IP, 1024, addr)
+	if cfg.flood > 0 {
+		workload.StartFlood(k, sim.Rate(cfg.flood), kernel.Addr("66.0.0.1", 0).IP, 1024, addr)
 	}
 
-	eng.RunUntil(sim.Time(sim.FromStd(*dur)))
+	eng.RunUntil(sim.Time(sim.FromStd(cfg.dur)))
 
 	u := k.Utilization()
-	fmt.Printf("=== %s kernel, %v elapsed: %.0f good req/s; CPU %.1f%% busy, %.1f%% interrupts, %.1f%% idle ===\n",
-		km, eng.Now(), good.Rate(eng.Now()), u.Busy*100, u.Interrupt*100, u.Idle*100)
+	fmt.Fprintf(stdout, "=== %s kernel, %v elapsed: %.0f good req/s; CPU %.1f%% busy, %.1f%% interrupts, %.1f%% idle ===\n",
+		cfg.mode, eng.Now(), good.Rate(eng.Now()), u.Busy*100, u.Interrupt*100, u.Idle*100)
 	switch {
 	case root == nil:
-		fmt.Printf("(no container hierarchy: %s kernel has no resource containers)\n", km)
-	case *asJSON:
-		if err := rc.WriteJSON(os.Stdout, root); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		fmt.Fprintf(stdout, "(no container hierarchy: %s kernel has no resource containers)\n", cfg.mode)
+	case cfg.asJSON:
+		if err := rc.WriteJSON(stdout, root); err != nil {
+			return err
 		}
 	default:
-		rc.Fprint(os.Stdout, root)
+		rc.Fprint(stdout, root)
 	}
 
-	if *profile {
-		fmt.Printf("\n=== virtual-CPU profile (%s kernel) ===\n", km)
-		tel.WriteProfile(os.Stdout, 20)
+	if cfg.profile {
+		fmt.Fprintf(stdout, "\n=== virtual-CPU profile (%s kernel) ===\n", cfg.mode)
+		tel.WriteProfile(stdout, 20)
 	}
-	if *timeline != "" {
-		if err := writeTo(*timeline, tel.WriteJSONL); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if cfg.timeline != "" {
+		if err := writeTo(cfg.timeline, stdout, tel.WriteJSONL); err != nil {
+			return err
 		}
-		if *timeline != "-" {
-			fmt.Printf("\ntelemetry JSONL written to %s\n", *timeline)
+		if cfg.timeline != "-" {
+			fmt.Fprintf(stdout, "\ntelemetry JSONL written to %s\n", cfg.timeline)
 		}
 	}
-	if *chrome != "" {
-		if err := writeTo(*chrome, tel.WriteChromeTrace); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if cfg.chrome != "" {
+		if err := writeTo(cfg.chrome, stdout, tel.WriteChromeTrace); err != nil {
+			return err
 		}
-		if *chrome != "-" {
-			fmt.Printf("Chrome trace written to %s (load in Perfetto or chrome://tracing)\n", *chrome)
+		if cfg.chrome != "-" {
+			fmt.Fprintf(stdout, "Chrome trace written to %s (load in Perfetto or chrome://tracing)\n", cfg.chrome)
 		}
 	}
 
-	fmt.Printf("\n=== last %d of %d kernel events ===\n", *events, tr.Total())
+	fmt.Fprintf(stdout, "\n=== last %d of %d kernel events ===\n", cfg.events, tr.Total())
 	evs := tr.Events()
-	if len(evs) > *events {
-		evs = evs[len(evs)-*events:]
+	if len(evs) > cfg.events {
+		evs = evs[len(evs)-cfg.events:]
 	}
 	for _, e := range evs {
-		fmt.Println(e)
+		fmt.Fprintln(stdout, e)
 	}
+	return nil
 }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"rescon/internal/kernel"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
+
+// goldenCfg is the pinned scenario behind the exporter goldens: fixed
+// seed, short horizon, all three output-bearing kernel paths exercised
+// (flood drops, connections, dispatches).
+func goldenCfg() config {
+	return config{
+		mode:   kernel.ModeRC,
+		seed:   2026,
+		dur:    80 * time.Millisecond,
+		flood:  2000,
+		events: 5,
+		// Keep the goldens small but still multi-kind: connection
+		// lifecycle plus the flood's policed drops.
+		kinds: "drop,conn",
+	}
+}
+
+// runExporter runs the pinned scenario with one exporter pointed at a
+// temp file and returns the file's bytes.
+func runExporter(t *testing.T, set func(cfg *config, path string)) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out")
+	cfg := goldenCfg()
+	set(&cfg, path)
+	var stdout bytes.Buffer
+	if err := run(cfg, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("exporter wrote an empty file")
+	}
+	return got
+}
+
+// checkGolden compares got against testdata/<name>, rewriting the golden
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	golden := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/rctrace -update` to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from its golden (%d bytes vs %d).\n"+
+			"If the change is intentional, regenerate with `go test ./cmd/rctrace -update`.",
+			name, len(got), len(want))
+	}
+}
+
+// TestTimelineGolden pins the telemetry JSONL exporter byte-for-byte at
+// a fixed seed: any encoding drift, reordering, or nondeterminism in the
+// simulated scenario shows up as a golden diff.
+func TestTimelineGolden(t *testing.T) {
+	got := runExporter(t, func(cfg *config, path string) { cfg.timeline = path })
+	checkGolden(t, "timeline.golden.jsonl", got)
+}
+
+// TestChromeTraceGolden pins the Chrome trace_event exporter the same
+// way; the golden stays loadable in Perfetto as a side effect.
+func TestChromeTraceGolden(t *testing.T) {
+	got := runExporter(t, func(cfg *config, path string) { cfg.chrome = path })
+	checkGolden(t, "chrome.golden.json", got)
+}
+
+// TestExportersDeterministic re-runs each exporter in the same process
+// and demands identical bytes — this catches globals (like the container
+// ID counter) leaking into the output even when a single-run golden
+// would still pass.
+func TestExportersDeterministic(t *testing.T) {
+	for name, set := range map[string]func(cfg *config, path string){
+		"timeline": func(cfg *config, path string) { cfg.timeline = path },
+		"chrome":   func(cfg *config, path string) { cfg.chrome = path },
+	} {
+		a := runExporter(t, set)
+		b := runExporter(t, set)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s exporter not deterministic across runs in one process", name)
+		}
+	}
+}

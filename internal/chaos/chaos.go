@@ -1,0 +1,97 @@
+// Package chaos is the deterministic chaos harness: it generates
+// randomized-but-reproducible scenarios over the simulated server
+// (container hierarchies with degenerate shapes, adversarial workload
+// mixes, fault and crash schedules, all three kernel modes), runs them
+// under a battery of cross-cutting invariants, and shrinks any failure
+// to a minimal JSON repro.
+//
+// The design follows the simulation-testing school (FoundationDB,
+// Antithesis): because the whole system — kernel, network, disk,
+// clients, attackers — runs on one discrete-event engine seeded from a
+// single integer, a failing run is a pure function of its Scenario and
+// can be replayed, bisected and shrunk mechanically.
+//
+// The invariant battery extends the fault.Checker built-ins (CPU-charge
+// hierarchy conservation, non-negative usage, queue bounds, clock
+// monotonicity) with:
+//
+//   - CPU conservation: the telemetry profile's attributed processor
+//     time must equal the machine's busy + interrupt time (every cycle
+//     charged to some principal, no cycle charged twice) — the paper's
+//     central accounting claim, checked to cpuEpsilon.
+//   - Connection-lifecycle conservation: connections established ==
+//     connections closed + connections open, at every checker tick.
+//   - Isolation floor: when the scheduler is container-driven and
+//     nothing external (crashes, wire faults, disk queues) can stall
+//     it, a high-priority container with runnable work must make
+//     progress whenever the machine does.
+//   - Determinism: re-running a scenario must produce a byte-identical
+//     state digest (RunChecked).
+//
+// Entry points: Generate (seed → Scenario), Run / RunChecked (Scenario
+// → Result), Shrink (failing Scenario → minimal Scenario), Smoke (the
+// CI loop). The rcchaos command wraps them for the command line.
+package chaos
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Classify maps a violation string to its failure class, the unit of
+// "fails the same way" used by Shrink and the rcchaos triage output.
+func Classify(v string) string {
+	for _, c := range []string{"cpu-conservation", "conn-conservation", "isolation-floor", "determinism"} {
+		if strings.Contains(v, c) {
+			return c
+		}
+	}
+	switch {
+	case strings.Contains(v, "queue"):
+		return "queue-bound"
+	case strings.Contains(v, "negative"):
+		return "non-negative"
+	case strings.Contains(v, "clock") || strings.Contains(v, "fired-event"):
+		return "monotonic-clock"
+	case strings.Contains(v, "conservation broken"):
+		return "hierarchy-conservation"
+	}
+	return "unknown"
+}
+
+// Classes summarizes a result's violations as its distinct failure
+// classes, in first-occurrence order.
+func Classes(r *Result) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, v := range r.Violations {
+		c := Classify(v)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Smoke generates runs scenarios starting at seed and executes each one
+// under all three kernel modes with the determinism double-run. It
+// returns an error describing the first failing scenario, or nil if
+// every run was clean — the form CI and `rcbench -exp chaos` consume.
+func Smoke(runs int, seed uint64) error {
+	for i := 0; i < runs; i++ {
+		sc := Generate(seed + uint64(i))
+		for _, mode := range ModeNames {
+			sc.Mode = mode
+			r, err := RunChecked(sc)
+			if err != nil {
+				return fmt.Errorf("chaos: seed %d mode %s: %w", sc.Seed, mode, err)
+			}
+			if r.Failed() {
+				return fmt.Errorf("chaos: seed %d mode %s: %d violation(s), classes %v, first: %s",
+					sc.Seed, mode, len(r.Violations), Classes(r), r.Violations[0])
+			}
+		}
+	}
+	return nil
+}

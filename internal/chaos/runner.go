@@ -1,0 +1,385 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"rescon/internal/experiments"
+	"rescon/internal/fault"
+	"rescon/internal/httpsim"
+	"rescon/internal/kernel"
+	"rescon/internal/netsim"
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+	"rescon/internal/telemetry"
+	"rescon/internal/trace"
+	"rescon/internal/workload"
+)
+
+// cpuEpsilon is the tolerance of the CPU-conservation invariant. The
+// simulator charges integer nanoseconds and every charge site adds the
+// same amount to the machine's busy or interrupt counter, so the books
+// should balance exactly; the microsecond of slack only forgives
+// rounding if a future cost model divides slices.
+const cpuEpsilon = sim.Microsecond
+
+// Isolation-floor probe parameters: the premium population must
+// complete work at least once per floorStreak probes while the machine
+// is demonstrably busy, or the floor is violated.
+const (
+	floorProbePeriod = 100 * sim.Millisecond
+	floorStreak      = 8
+	floorBusyDelta   = 100 * sim.Millisecond
+)
+
+// premiumClients is the size of the always-on high-priority population
+// the isolation-floor invariant observes.
+const premiumClients = 2
+
+// Result is the outcome of one scenario run: the recorded invariant
+// violations (empty means the run was clean), a hash of the run's full
+// observable state (telemetry dump, conservation counters, violations)
+// used by the determinism check and repro replay, and headline counters
+// for reporting.
+type Result struct {
+	Scenario   Scenario
+	Violations []string
+	Hash       uint64
+
+	Completed     uint64
+	Established   uint64
+	Closed        uint64
+	Open          int
+	BusyTime      sim.Duration
+	InterruptTime sim.Duration
+	AttributedCPU sim.Duration
+	PolicedDrops  uint64
+	Crashes       uint64
+	Restarts      uint64
+}
+
+// Failed reports whether any invariant was violated.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }
+
+// FailsWith reports whether any violation belongs to the given class
+// (see Classify).
+func (r *Result) FailsWith(class string) bool {
+	for _, v := range r.Violations {
+		if Classify(v) == class {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the scenario once and returns its result. An error means
+// the scenario could not be built (bad spec, unbuildable hierarchy) —
+// distinct from a clean run that found violations, which returns a
+// Result with a non-empty Violations slice.
+func Run(sc Scenario) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	mode, err := ModeOf(sc.Mode)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine(int64(sc.Seed))
+	k := kernel.NewSMP(eng, mode, kernel.DefaultCosts(), sc.CPUs)
+	tel := telemetry.New(telemetry.Config{})
+	k.AttachTelemetry(tel)
+	tel.SetRun(int64(sc.Seed), sc.Mode)
+	k.Police.Enabled = sc.Policing
+
+	check := fault.NewChecker(eng)
+	check.FailFast = false
+	k.WatchInvariants(check)
+	check.WatchCheck("cpu-conservation", func() string {
+		attr, acct := tel.AttributedCPU(), k.BusyTime()+k.InterruptTime()
+		diff := attr - acct
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > cpuEpsilon {
+			return fmt.Sprintf("telemetry attributes %v but machine ran busy %v + interrupt %v",
+				attr, k.BusyTime(), k.InterruptTime())
+		}
+		return ""
+	})
+
+	// Container hierarchy. The first two fixed-share containers (in spec
+	// order) become the per-connection and CGI sandbox parents, so the
+	// generated topology actually receives the workload's charges.
+	built := make([]*rc.Container, len(sc.Containers))
+	var connParent, cgiParent *rc.Container
+	for i, cs := range sc.Containers {
+		var parent *rc.Container
+		if cs.Parent >= 0 {
+			parent = built[cs.Parent]
+		}
+		class := rc.TimeShare
+		if cs.Fixed {
+			class = rc.FixedShare
+		}
+		c, err := rc.New(parent, class, cs.Name, rc.Attributes{
+			Priority:  cs.Priority,
+			Share:     cs.Share,
+			Limit:     cs.Limit,
+			MemLimit:  cs.MemLimit,
+			QoSWeight: cs.QoS,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: building container %d (%s): %w", i, cs.Name, err)
+		}
+		built[i] = c
+		if cs.Fixed && connParent == nil {
+			connParent = c
+		} else if cs.Fixed && cgiParent == nil {
+			cgiParent = c
+		}
+	}
+	if cgiParent == nil {
+		cgiParent = connParent
+	}
+
+	if sc.Faults != (fault.Config{}) {
+		inj := fault.NewInjector(eng, sc.Faults)
+		k.Faults = inj
+		k.Disk().Faults = inj
+	}
+
+	// Server, premium listener, and crash-restart plumbing. The premium
+	// filtered listener must be re-added inside the boot closure:
+	// Shutdown closes every listener, and a restarted worker without it
+	// would silently demote the premium client to the default socket.
+	rcMode := mode == kernel.ModeRC
+	var premCont *rc.Container
+	if rcMode {
+		premCont = rc.MustNew(nil, rc.TimeShare, "premium",
+			rc.Attributes{Priority: experiments.HighPriority})
+	}
+	serverCfg := httpsim.Config{
+		Kernel: k, Name: "httpd", Addr: experiments.ServerAddr, API: httpsim.EventAPI,
+		PerConnContainers: rcMode,
+		Parent:            connParent,
+		CGIParent:         cgiParent,
+		ConnPriority: func(a netsim.Addr) int {
+			if a.IP == experiments.HighPriorityIP {
+				return experiments.HighPriority
+			}
+			return kernel.DefaultPriority
+		},
+	}
+	var srv *httpsim.Server
+	var bootErr error
+	boot := func() {
+		srv, bootErr = httpsim.NewServer(serverCfg)
+		if bootErr == nil && rcMode {
+			_, bootErr = srv.AddListener(
+				netsim.Filter{Template: experiments.HighPriorityIP, MaskBits: 32}, premCont)
+		}
+	}
+	boot()
+	if bootErr != nil {
+		return nil, bootErr
+	}
+	var cr *fault.Crasher
+	if sc.Crash != nil {
+		cr, err = fault.StartCrasher(eng, fault.CrashPlan{
+			MTBF: sc.Crash.MTBF, Downtime: sc.Crash.Downtime,
+		}, func() { srv.Shutdown() }, boot)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Workloads. Each gets its own source subnet so filtered listeners
+	// and per-source accounting can tell populations apart.
+	var pops []*workload.Population
+	for wi, w := range sc.Workloads {
+		switch w.Kind {
+		case WorkClients, WorkCGI, WorkDisk:
+			cfg := experiments.ResilientClientConfig(k, experiments.ClientAddr(wi))
+			cfg.Think = w.Think
+			cfg.AbortRate = w.AbortRate
+			switch w.Kind {
+			case WorkCGI:
+				cfg.Kind = httpsim.CGI
+				cfg.CGICPU = w.CGICPU
+			case WorkDisk:
+				cfg.Uncached = true
+			}
+			pop, err := workload.StartPopulation(w.Count, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: workload %d (%s): %w", wi, w.Kind, err)
+			}
+			pops = append(pops, pop)
+		case WorkFlood:
+			workload.StartFlood(k, sim.Rate(w.Rate),
+				experiments.AttackNet+netsim.IP(wi)<<16, 4096, experiments.ServerAddr)
+		case WorkLoris:
+			workload.StartSlowLoris(workload.SlowLorisConfig{
+				Kernel:  k,
+				Src:     netsim.Addr{IP: experiments.AttackNet + netsim.IP(wi)<<16 + 7, Port: 1024},
+				Dst:     experiments.ServerAddr,
+				Conns:   w.Count,
+				Trickle: 50 * sim.Millisecond,
+				Hold:    2 * sim.Second,
+			})
+		}
+	}
+
+	// Premium population and isolation-floor probe. The floor invariant
+	// is only sound when the premium connection containers are
+	// top-level (no generated parent capping them), the scheduler is
+	// container-driven, nothing crash-stops the server, no wire/disk
+	// faults eat the premium client's packets, and no disk-bound
+	// workload can serialize it behind a deep disk queue. Under those
+	// conditions a high-priority container with runnable work must make
+	// progress whenever the machine does.
+	var premium *workload.Population
+	if rcMode {
+		cfg := experiments.ResilientClientConfig(k,
+			netsim.Addr{IP: experiments.HighPriorityIP, Port: 1024})
+		cfg.Think = sim.Millisecond
+		premium, err = workload.StartPopulation(premiumClients, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	floorOn := rcMode && sc.Crash == nil && sc.Faults == (fault.Config{}) &&
+		connParent == nil && !hasWorkload(sc, WorkDisk)
+	if floorOn {
+		probe := &floorProbe{k: k, pop: premium}
+		eng.Every(floorProbePeriod, probe.tick)
+		check.WatchCheck("isolation-floor", probe.take)
+	}
+
+	if sc.Mutation == MutationPhantomCPU {
+		eng.Every(50*sim.Millisecond, func() {
+			tel.ChargeStage("(ghost)", trace.StageUser, 200*sim.Microsecond)
+		})
+	}
+
+	check.Start(0)
+	eng.RunUntil(sim.Time(0).Add(sc.Horizon))
+	check.Check()
+	if bootErr != nil {
+		return nil, bootErr
+	}
+
+	res := &Result{
+		Scenario:      sc,
+		Violations:    append([]string(nil), check.Violations()...),
+		Established:   k.ConnsEstablished(),
+		Closed:        k.ConnsClosed(),
+		Open:          k.OpenConns(),
+		BusyTime:      k.BusyTime(),
+		InterruptTime: k.InterruptTime(),
+		AttributedCPU: tel.AttributedCPU(),
+		PolicedDrops:  k.PolicedDrops(),
+	}
+	for _, p := range pops {
+		res.Completed += p.Completed()
+	}
+	if premium != nil {
+		res.Completed += premium.Completed()
+	}
+	if cr != nil {
+		res.Crashes, res.Restarts = cr.Crashes(), cr.Restarts()
+	}
+	res.Hash = hashRun(tel, res)
+	return res, nil
+}
+
+// hasWorkload reports whether the scenario contains a workload of kind.
+func hasWorkload(sc Scenario, kind string) bool {
+	for _, w := range sc.Workloads {
+		if w.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// floorProbe watches the premium population for a stall: floorStreak
+// consecutive probes without a completion while the machine accumulated
+// at least floorBusyDelta of busy time. The violation latches once and
+// is reported through the checker by take.
+type floorProbe struct {
+	k        *kernel.Kernel
+	pop      *workload.Population
+	lastDone uint64
+	streak   int
+	busyAt   sim.Duration
+	msg      string
+	reported bool
+}
+
+func (p *floorProbe) tick() {
+	done := p.pop.Completed()
+	if done != p.lastDone || done == 0 {
+		p.lastDone = done
+		p.streak = 0
+		p.busyAt = p.k.BusyTime()
+		return
+	}
+	p.streak++
+	if p.streak >= floorStreak && p.k.BusyTime()-p.busyAt >= floorBusyDelta && !p.reported {
+		p.reported = true
+		p.msg = fmt.Sprintf("premium container stalled for %v while machine busy time grew %v",
+			sim.Duration(p.streak)*floorProbePeriod, p.k.BusyTime()-p.busyAt)
+	}
+}
+
+// take hands the latched violation to the checker exactly once.
+func (p *floorProbe) take() string {
+	msg := p.msg
+	p.msg = ""
+	return msg
+}
+
+// hashRun computes an FNV-1a 64 digest over the run's full observable
+// state: the byte-stable telemetry JSONL dump, the conservation
+// counters, and every violation string. Two runs of the same scenario
+// must produce the same digest — checked by RunChecked.
+func hashRun(tel *telemetry.Collector, res *Result) uint64 {
+	h := fnv.New64a()
+	_ = tel.WriteJSONL(h)
+	fmt.Fprintf(h, "est=%d closed=%d open=%d busy=%d intr=%d attr=%d policed=%d crashes=%d restarts=%d completed=%d\n",
+		res.Established, res.Closed, res.Open,
+		int64(res.BusyTime), int64(res.InterruptTime), int64(res.AttributedCPU),
+		res.PolicedDrops, res.Crashes, res.Restarts, res.Completed)
+	// Violations are hashed in sorted order: a couple of kernel-internal
+	// collections are maps, so when one bad tick trips several queue
+	// checks at once their relative order is not guaranteed, and the
+	// digest should not flag that as nondeterminism.
+	sorted := append([]string(nil), res.Violations...)
+	sort.Strings(sorted)
+	for _, v := range sorted {
+		fmt.Fprintln(h, v)
+	}
+	return h.Sum64()
+}
+
+// RunChecked runs the scenario twice from scratch and adds a
+// determinism violation if the two runs' digests differ — the
+// FoundationDB-style check that the simulation really is a pure
+// function of the scenario. The first run's result is returned.
+func RunChecked(sc Scenario) (*Result, error) {
+	r1, err := Run(sc)
+	if err != nil {
+		return nil, err
+	}
+	r2, err := Run(sc)
+	if err != nil {
+		return nil, err
+	}
+	if r1.Hash != r2.Hash {
+		r1.Violations = append(r1.Violations,
+			fmt.Sprintf("fault: invariant violated at %v: determinism: run hashes differ: %016x vs %016x",
+				sc.Horizon, r1.Hash, r2.Hash))
+	}
+	return r1, nil
+}

@@ -1,0 +1,316 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"rescon/internal/fault"
+	"rescon/internal/kernel"
+	"rescon/internal/sim"
+)
+
+// Mode names accepted by Scenario.Mode, in kernel.Mode order.
+var ModeNames = []string{"unmodified", "lrp", "rc"}
+
+// ModeOf maps a scenario mode name to the kernel execution model.
+func ModeOf(name string) (kernel.Mode, error) {
+	for i, n := range ModeNames {
+		if n == name {
+			return kernel.Mode(i), nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown mode %q (want one of %v)", name, ModeNames)
+}
+
+// ContainerSpec describes one resource container of a scenario's
+// hierarchy. Parent is the index of an earlier spec in the slice, or -1
+// for a root. The generator deliberately produces degenerate shapes —
+// zero-share fixed leaves, deep fixed-share chains, limits that exceed
+// the parent's own share — because those are the corners where
+// scheduler and accounting bugs hide.
+type ContainerSpec struct {
+	Name     string  `json:"name"`
+	Parent   int     `json:"parent"`
+	Fixed    bool    `json:"fixed"`
+	Priority int     `json:"priority"`
+	Share    float64 `json:"share,omitempty"`
+	Limit    float64 `json:"limit,omitempty"`
+	MemLimit int64   `json:"mem_limit,omitempty"`
+	QoS      float64 `json:"qos,omitempty"`
+}
+
+// Workload kinds. Each maps to one traffic source the runner starts.
+const (
+	// WorkClients is a closed-loop population of well-behaved static
+	// clients with the resilient timeout/backoff configuration.
+	WorkClients = "clients"
+	// WorkCGI is a population of CGI aggressors, each keeping one
+	// CPU-burning dynamic request outstanding (the §5.6 cache war).
+	WorkCGI = "cgi"
+	// WorkFlood is a SYN flood at Rate SYNs/s from the attack prefix.
+	WorkFlood = "flood"
+	// WorkLoris is a slow-loris attacker holding Count connections open
+	// with bytes that never form a request.
+	WorkLoris = "loris"
+	// WorkDisk is a population of uncached clients whose every request
+	// misses the filesystem cache and hits the disk.
+	WorkDisk = "disk"
+)
+
+// WorkloadSpec describes one traffic source. Fields beyond Kind apply
+// only where meaningful (Rate to floods, CGICPU to CGI, and so on);
+// zero values take the runner's defaults.
+type WorkloadSpec struct {
+	Kind      string       `json:"kind"`
+	Count     int          `json:"count,omitempty"`
+	Rate      float64      `json:"rate,omitempty"`
+	CGICPU    sim.Duration `json:"cgi_cpu_ns,omitempty"`
+	Think     sim.Duration `json:"think_ns,omitempty"`
+	AbortRate float64      `json:"abort_rate,omitempty"`
+}
+
+// CrashSpec schedules crash-stop/restart cycles for the server worker.
+type CrashSpec struct {
+	MTBF     sim.Duration `json:"mtbf_ns"`
+	Downtime sim.Duration `json:"downtime_ns"`
+}
+
+// Scenario is one fully determined chaos run: every axis of the
+// configuration space — container hierarchy, workload mix, fault
+// schedule, kernel mode, machine size, horizon — pinned down by values
+// derived from a single seed (or loaded from a repro file). Running the
+// same Scenario twice must produce byte-identical results; that is
+// itself one of the checked invariants.
+type Scenario struct {
+	Seed     uint64       `json:"seed"`
+	Mode     string       `json:"mode"`
+	CPUs     int          `json:"cpus"`
+	Horizon  sim.Duration `json:"horizon_ns"`
+	Policing bool         `json:"policing,omitempty"`
+
+	Containers []ContainerSpec `json:"containers,omitempty"`
+	Workloads  []WorkloadSpec  `json:"workloads,omitempty"`
+	Faults     fault.Config    `json:"faults,omitempty"`
+	Crash      *CrashSpec      `json:"crash,omitempty"`
+
+	// Mutation enables a deliberately planted bug in the runner — the
+	// harness's self-test seam. The generator never sets it; tests use
+	// it to prove the invariant battery catches real accounting bugs and
+	// that failures shrink. See MutationPhantomCPU.
+	Mutation string `json:"mutation,omitempty"`
+}
+
+// MutationPhantomCPU makes the runner periodically charge CPU time to a
+// ghost principal that no CPU ever executed — the classic accounting
+// bug class resource containers exist to prevent. The CPU-conservation
+// invariant must catch it, and because the mutation is independent of
+// the generated scenario, shrinking a phantom-cpu failure must converge
+// to a near-empty scenario.
+const MutationPhantomCPU = "phantom-cpu"
+
+// Validate reports whether the scenario is structurally runnable:
+// recognized mode and mutation, a positive machine and horizon, parent
+// indices that refer to earlier fixed-share specs, and known workload
+// kinds. Attribute ranges (shares, limits) are validated by the
+// container layer when the runner builds the hierarchy.
+func (sc Scenario) Validate() error {
+	if _, err := ModeOf(sc.Mode); err != nil {
+		return err
+	}
+	if sc.CPUs < 1 {
+		return fmt.Errorf("chaos: CPUs %d < 1", sc.CPUs)
+	}
+	if sc.Horizon <= 0 {
+		return fmt.Errorf("chaos: non-positive horizon %v", sc.Horizon)
+	}
+	for i, cs := range sc.Containers {
+		if cs.Parent >= i {
+			return fmt.Errorf("chaos: container %d parent %d is not an earlier spec", i, cs.Parent)
+		}
+		if cs.Parent >= 0 && !sc.Containers[cs.Parent].Fixed {
+			return fmt.Errorf("chaos: container %d parent %d is not fixed-share", i, cs.Parent)
+		}
+	}
+	for i, w := range sc.Workloads {
+		switch w.Kind {
+		case WorkClients, WorkCGI, WorkFlood, WorkLoris, WorkDisk:
+		default:
+			return fmt.Errorf("chaos: workload %d has unknown kind %q", i, w.Kind)
+		}
+	}
+	if sc.Crash != nil && sc.Crash.MTBF <= 0 {
+		return fmt.Errorf("chaos: crash plan without positive MTBF")
+	}
+	switch sc.Mutation {
+	case "", MutationPhantomCPU:
+	default:
+		return fmt.Errorf("chaos: unknown mutation %q", sc.Mutation)
+	}
+	return nil
+}
+
+// RNG fork labels, one per independent generation axis, so changing the
+// draw count on one axis never perturbs another.
+const (
+	labelMachine = 1
+	labelTopo    = 2
+	labelLoad    = 3
+	labelFault   = 4
+)
+
+// Generate derives a complete Scenario from a single seed. The same
+// seed always yields the same scenario; nearby seeds yield unrelated
+// ones. Generated scenarios always pass Validate and always build (the
+// generator respects the container layer's structural rules while still
+// reaching its degenerate corners).
+func Generate(seed uint64) Scenario {
+	top := sim.NewRNG(int64(seed))
+	rm := top.Fork(labelMachine)
+	sc := Scenario{
+		Seed:     seed,
+		Mode:     ModeNames[rm.Intn(len(ModeNames))],
+		CPUs:     1 + rm.Intn(4),
+		Horizon:  500*sim.Millisecond + rm.Uniform(0, 1500*sim.Millisecond),
+		Policing: rm.Float64() < 0.5,
+	}
+	sc.Containers = genContainers(top.Fork(labelTopo))
+	sc.Workloads = genWorkloads(top.Fork(labelLoad))
+	rf := top.Fork(labelFault)
+	if rf.Float64() < 0.5 {
+		sc.Faults = genFaults(rf)
+	}
+	if rf.Float64() < 0.2 {
+		sc.Crash = &CrashSpec{
+			MTBF:     300*sim.Millisecond + rf.Uniform(0, 700*sim.Millisecond),
+			Downtime: 50*sim.Millisecond + rf.Uniform(0, 200*sim.Millisecond),
+		}
+	}
+	return sc
+}
+
+// genContainers draws a random hierarchy. Fixed-share containers may
+// parent later specs (the container layer only allows children under
+// fixed-share nodes); the 0.6 attach bias makes deep chains common.
+// Root shares are capped at 0.5 of the machine so time-share work
+// elsewhere (the runner's premium probe) keeps CPU entitlement.
+func genContainers(r *sim.RNG) []ContainerSpec {
+	n := r.Intn(6)
+	specs := make([]ContainerSpec, 0, n)
+	shareLeft := map[int]float64{-1: 0.5}
+	var fixed []int
+	for i := 0; i < n; i++ {
+		cs := ContainerSpec{
+			Name:     fmt.Sprintf("c%d", i),
+			Parent:   -1,
+			Priority: r.Intn(21),
+		}
+		if len(fixed) > 0 && r.Float64() < 0.6 {
+			cs.Parent = fixed[r.Intn(len(fixed))]
+		}
+		if r.Float64() < 0.6 {
+			cs.Fixed = true
+			if left := shareLeft[cs.Parent]; left > 0.01 && r.Float64() < 0.7 {
+				cs.Share = left * (0.1 + 0.7*r.Float64())
+				shareLeft[cs.Parent] = left - cs.Share
+			}
+			// Else: a zero-share fixed leaf — entitled to nothing it was
+			// not explicitly given, a degenerate shape worth exercising.
+			shareLeft[i] = 0.9
+			fixed = append(fixed, i)
+		}
+		if r.Float64() < 0.3 {
+			// A limit at least the container's own share but possibly far
+			// above the parent's — legal, degenerate, and a classic source
+			// of throttling bugs.
+			cs.Limit = cs.Share + (1-cs.Share)*r.Float64()
+		}
+		if r.Float64() < 0.2 {
+			cs.MemLimit = int64(64<<10 + r.Intn(1<<20))
+		}
+		if r.Float64() < 0.2 {
+			cs.QoS = 0.25 + 4*r.Float64()
+		}
+		specs = append(specs, cs)
+	}
+	return specs
+}
+
+// genWorkloads draws 1..4 traffic sources with a mix biased toward
+// well-behaved clients but regularly including every attacker class.
+func genWorkloads(r *sim.RNG) []WorkloadSpec {
+	n := 1 + r.Intn(4)
+	out := make([]WorkloadSpec, 0, n)
+	for i := 0; i < n; i++ {
+		var w WorkloadSpec
+		switch p := r.Float64(); {
+		case p < 0.35:
+			w = WorkloadSpec{Kind: WorkClients, Count: 4 + r.Intn(29), Think: r.Uniform(0, 5*sim.Millisecond)}
+			if r.Float64() < 0.3 {
+				w.AbortRate = 0.02 + 0.18*r.Float64()
+			}
+		case p < 0.50:
+			w = WorkloadSpec{Kind: WorkCGI, Count: 2 + r.Intn(7), CGICPU: sim.Millisecond + r.Uniform(0, 19*sim.Millisecond)}
+		case p < 0.65:
+			w = WorkloadSpec{Kind: WorkFlood, Rate: 500 + 19500*r.Float64()}
+		case p < 0.80:
+			w = WorkloadSpec{Kind: WorkLoris, Count: 16 + r.Intn(113)}
+		default:
+			w = WorkloadSpec{Kind: WorkDisk, Count: 2 + r.Intn(15)}
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// genFaults draws a fault schedule with each class enabled
+// independently at modest rates — heavy enough to exercise recovery
+// paths, light enough that legitimate work still flows.
+func genFaults(r *sim.RNG) fault.Config {
+	var cfg fault.Config
+	if r.Float64() < 0.5 {
+		cfg.DropRate = 0.15 * r.Float64()
+	}
+	if r.Float64() < 0.3 {
+		cfg.DupRate = 0.05 * r.Float64()
+	}
+	if r.Float64() < 0.3 {
+		cfg.ReorderRate = 0.05 * r.Float64()
+	}
+	if r.Float64() < 0.3 {
+		cfg.DelayRate = 0.10 * r.Float64()
+	}
+	if r.Float64() < 0.3 {
+		cfg.DiskErrorRate = 0.05 * r.Float64()
+	}
+	if r.Float64() < 0.3 {
+		cfg.DiskSlowRate = 0.20 * r.Float64()
+	}
+	return cfg
+}
+
+// WriteFile writes the scenario as an indented JSON repro file.
+func (sc Scenario) WriteFile(path string) error {
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadScenario reads and validates a repro file written by WriteFile
+// (or by hand).
+func LoadScenario(path string) (Scenario, error) {
+	var sc Scenario
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return sc, err
+	}
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return sc, fmt.Errorf("chaos: parsing %s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return sc, fmt.Errorf("chaos: %s: %w", path, err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"rescon/internal/fault"
+	"rescon/internal/sim"
+)
+
+// emptyFaults is the zero fault schedule, for comparison and reset.
+var emptyFaults fault.Config
+
+// shrinkMaxRuns bounds the number of candidate executions one Shrink
+// call may spend — a backstop against pathological plateaus, set far
+// above what real failures need.
+const shrinkMaxRuns = 200
+
+// minHorizon is the shortest horizon Shrink will try: below a quarter
+// second most scenarios cannot accumulate enough work to reach the
+// interesting states, so shrinking further just produces flaky repros.
+const minHorizon = 250 * sim.Millisecond
+
+// Shrink greedily minimizes a failing scenario while preserving its
+// failure class (see Classify): it repeatedly tries removing workloads,
+// container subtrees, the crash plan and fault schedule, and halving
+// workload sizes and the horizon, keeping every candidate that still
+// fails the same way, until no single reduction does. The result is the
+// minimal repro to ship in a bug report. Determinism failures re-run
+// candidates through RunChecked (the class only manifests across a
+// double run); every other class uses a single run per candidate.
+func Shrink(sc Scenario, class string) Scenario {
+	runs := 0
+	fails := func(c Scenario) bool {
+		if runs >= shrinkMaxRuns {
+			return false
+		}
+		runs++
+		var r *Result
+		var err error
+		if class == "determinism" {
+			r, err = RunChecked(c)
+		} else {
+			r, err = Run(c)
+		}
+		return err == nil && r.FailsWith(class)
+	}
+
+	for reduced := true; reduced; {
+		reduced = false
+		// Remove whole workloads, last-to-first so indices stay valid.
+		for i := len(sc.Workloads) - 1; i >= 0; i-- {
+			cand := sc
+			cand.Workloads = deleteAt(sc.Workloads, i)
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		// Halve workload sizes.
+		for i := range sc.Workloads {
+			cand := sc
+			cand.Workloads = append([]WorkloadSpec(nil), sc.Workloads...)
+			w := &cand.Workloads[i]
+			shrunk := false
+			if w.Count > 1 {
+				w.Count /= 2
+				shrunk = true
+			}
+			if w.Rate > 100 {
+				w.Rate /= 2
+				shrunk = true
+			}
+			if shrunk && fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		// Remove container subtrees, last-to-first.
+		for i := len(sc.Containers) - 1; i >= 0; i-- {
+			cand, ok := dropContainer(sc, i)
+			if ok && fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		// Strip scenario-level knobs.
+		if sc.Crash != nil {
+			cand := sc
+			cand.Crash = nil
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		if sc.Faults != (emptyFaults) {
+			cand := sc
+			cand.Faults = emptyFaults
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		if sc.Policing {
+			cand := sc
+			cand.Policing = false
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		if sc.CPUs > 1 {
+			cand := sc
+			cand.CPUs = 1
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		if sc.Horizon/2 >= minHorizon {
+			cand := sc
+			cand.Horizon = sc.Horizon / 2
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+	}
+	return sc
+}
+
+func deleteAt(ws []WorkloadSpec, i int) []WorkloadSpec {
+	out := make([]WorkloadSpec, 0, len(ws)-1)
+	out = append(out, ws[:i]...)
+	return append(out, ws[i+1:]...)
+}
+
+// dropContainer removes spec idx and its whole subtree, remapping the
+// surviving specs' parent indices. It reports false when nothing
+// changed (idx out of range).
+func dropContainer(sc Scenario, idx int) (Scenario, bool) {
+	if idx < 0 || idx >= len(sc.Containers) {
+		return sc, false
+	}
+	drop := make(map[int]bool, len(sc.Containers))
+	drop[idx] = true
+	for i := idx + 1; i < len(sc.Containers); i++ {
+		if p := sc.Containers[i].Parent; p >= 0 && drop[p] {
+			drop[i] = true
+		}
+	}
+	newIdx := make(map[int]int, len(sc.Containers))
+	out := make([]ContainerSpec, 0, len(sc.Containers)-len(drop))
+	for i, cs := range sc.Containers {
+		if drop[i] {
+			continue
+		}
+		newIdx[i] = len(out)
+		out = append(out, cs)
+	}
+	for j := range out {
+		if out[j].Parent >= 0 {
+			out[j].Parent = newIdx[out[j].Parent]
+		}
+	}
+	cand := sc
+	cand.Containers = out
+	return cand, true
+}

@@ -29,19 +29,10 @@ const resilienceClientCount = 384
 const ResilienceFloodRate = sim.Rate(6000)
 
 // resilienceClients returns the legitimate closed-loop population for
-// the resilience experiments: short timeouts (so a shed packet costs a
-// fraction of a second, not the BSD 3 s) and jittered exponential
-// backoff (so the retrying population does not synchronize into bursts).
+// the resilience experiments, using the canonical overload-tolerant
+// configuration (see ResilientClientConfig).
 func resilienceClients(e *env, n int) *workload.Population {
-	return workload.MustStartPopulation(n, workload.ClientConfig{
-		Kernel:         e.k,
-		Src:            netsim.Addr{IP: ClientNet + 1, Port: 1024},
-		Dst:            ServerAddr,
-		ConnectTimeout: 250 * sim.Millisecond,
-		RequestTimeout: 500 * sim.Millisecond,
-		BackoffBase:    50 * sim.Millisecond,
-		BackoffMax:     800 * sim.Millisecond,
-	})
+	return workload.MustStartPopulation(n, ResilientClientConfig(e.k, netsim.Addr{IP: ClientNet + 1, Port: 1024}))
 }
 
 // ResilienceCurves produces the degradation curves of the resilience
@@ -210,10 +201,13 @@ func crashScenario(opt Options) (faultRow, error) {
 	if startErr != nil {
 		return faultRow{}, startErr
 	}
-	cr := fault.StartCrasher(e.eng, fault.CrashPlan{
+	cr, err := fault.StartCrasher(e.eng, fault.CrashPlan{
 		MTBF:     sim.Second,
 		Downtime: 250 * sim.Millisecond,
 	}, func() { srv.Shutdown() }, boot)
+	if err != nil {
+		return faultRow{}, err
+	}
 	pop := resilienceClients(e, 16)
 	row := measureRow(e, pop, opt)
 	if startErr != nil {

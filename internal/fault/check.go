@@ -46,6 +46,7 @@ type Checker struct {
 
 	contSrcs  []func() []*rc.Container
 	queueSrcs []func() []QueueState
+	checkSrcs []namedCheck
 
 	lastNow   sim.Time
 	lastFired uint64
@@ -86,6 +87,22 @@ func (ch *Checker) WatchQueue(name string, length func() int, bound int) {
 // WatchQueueSource adds a dynamic queue source, re-evaluated every check.
 func (ch *Checker) WatchQueueSource(fn func() []QueueState) {
 	ch.queueSrcs = append(ch.queueSrcs, fn)
+}
+
+// namedCheck is one custom invariant: fn returns "" while the invariant
+// holds, or a description of the violation.
+type namedCheck struct {
+	name string
+	fn   func() string
+}
+
+// WatchCheck adds a named custom invariant, evaluated at every check
+// alongside the built-in ones. The function returns "" while the
+// invariant holds and a violation description otherwise; the name
+// prefixes the recorded violation so consumers (e.g. the chaos harness's
+// shrinker) can classify failures. Checks run in registration order.
+func (ch *Checker) WatchCheck(name string, fn func() string) {
+	ch.checkSrcs = append(ch.checkSrcs, namedCheck{name: name, fn: fn})
 }
 
 // Start checks periodically until Stop. A period of 0 defaults to 10 ms
@@ -164,6 +181,13 @@ func (ch *Checker) Check() {
 			if q.Bound > 0 && q.Len > q.Bound {
 				ch.violate("queue %q over bound: %d > %d", q.Name, q.Len, q.Bound)
 			}
+		}
+	}
+
+	// 5. Custom invariants (WatchCheck), in registration order.
+	for _, nc := range ch.checkSrcs {
+		if msg := nc.fn(); msg != "" {
+			ch.violate("%s: %s", nc.name, msg)
 		}
 	}
 }

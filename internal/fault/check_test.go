@@ -133,10 +133,13 @@ func TestCrasherSchedule(t *testing.T) {
 		eng := sim.NewEngine(13)
 		var crashTimes []sim.Time
 		var up, down int
-		cr := StartCrasher(eng, CrashPlan{MTBF: 200 * sim.Millisecond, Downtime: 50 * sim.Millisecond},
+		cr, err := StartCrasher(eng, CrashPlan{MTBF: 200 * sim.Millisecond, Downtime: 50 * sim.Millisecond},
 			func() { down++; crashTimes = append(crashTimes, eng.Now()) },
 			func() { up++ },
 		)
+		if err != nil {
+			t.Fatalf("StartCrasher: %v", err)
+		}
 		eng.RunUntil(sim.Time(0).Add(3 * sim.Second))
 		if down != int(cr.Crashes()) || up != int(cr.Restarts()) {
 			t.Fatalf("callback counts diverge from Crasher counters")
@@ -163,7 +166,10 @@ func TestCrasherSchedule(t *testing.T) {
 
 func TestCrasherStop(t *testing.T) {
 	eng := sim.NewEngine(13)
-	cr := StartCrasher(eng, CrashPlan{MTBF: 100 * sim.Millisecond}, func() {}, func() {})
+	cr, err := StartCrasher(eng, CrashPlan{MTBF: 100 * sim.Millisecond}, func() {}, func() {})
+	if err != nil {
+		t.Fatalf("StartCrasher: %v", err)
+	}
 	eng.RunUntil(sim.Time(0).Add(time500ms))
 	cr.Stop()
 	n := cr.Crashes()
@@ -177,10 +183,11 @@ const time500ms = 500 * sim.Millisecond
 
 func TestCrasherRequiresMTBF(t *testing.T) {
 	eng := sim.NewEngine(1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero MTBF did not panic")
-		}
-	}()
-	StartCrasher(eng, CrashPlan{}, func() {}, func() {})
+	cr, err := StartCrasher(eng, CrashPlan{}, func() {}, func() {})
+	if err == nil {
+		t.Fatal("zero MTBF did not return an error")
+	}
+	if cr != nil {
+		t.Fatal("zero MTBF returned a non-nil Crasher")
+	}
 }

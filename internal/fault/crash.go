@@ -1,6 +1,14 @@
 package fault
 
-import "rescon/internal/sim"
+import (
+	"errors"
+
+	"rescon/internal/sim"
+)
+
+// ErrCrashPlan is returned by StartCrasher for an unusable crash plan
+// (non-positive MTBF).
+var ErrCrashPlan = errors.New("fault: CrashPlan.MTBF must be positive")
 
 // CrashPlan configures deterministic crash-and-restart cycles for a
 // server worker: the worker stays up for an exponentially distributed
@@ -33,10 +41,13 @@ type Crasher struct {
 
 // StartCrasher begins the crash schedule: after each up-interval the
 // crash callback runs (tear the worker down), and Downtime later the
-// restart callback runs (bring a fresh worker up).
-func StartCrasher(eng *sim.Engine, plan CrashPlan, crash, restart func()) *Crasher {
+// restart callback runs (bring a fresh worker up). A plan without a
+// positive MTBF is a configuration error, reported as ErrCrashPlan
+// rather than a panic so harnesses that randomize plans surface it as a
+// finding.
+func StartCrasher(eng *sim.Engine, plan CrashPlan, crash, restart func()) (*Crasher, error) {
 	if plan.MTBF <= 0 {
-		panic("fault: CrashPlan.MTBF must be positive")
+		return nil, ErrCrashPlan
 	}
 	if plan.Downtime <= 0 {
 		plan.Downtime = 100 * sim.Millisecond
@@ -49,7 +60,7 @@ func StartCrasher(eng *sim.Engine, plan CrashPlan, crash, restart func()) *Crash
 		restart: restart,
 	}
 	c.armCrash()
-	return c
+	return c, nil
 }
 
 func (c *Crasher) armCrash() {

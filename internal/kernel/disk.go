@@ -125,10 +125,13 @@ func (d *Disk) start() {
 			// paid, the transfer never happens.
 			failed = true
 			cost = d.SeekTime
-			d.k.Tracer.Emitf(d.k.Now(), trace.KindFault, "disk read error %dB for %v", req.bytes, req.container)
+			// Name the principal, not the container value: container IDs
+			// come from a global counter and are not stable across runs in
+			// one process, which would break trace-dump determinism.
+			d.k.Tracer.Emitf(d.k.Now(), trace.KindFault, "disk read error %dB for %s", req.bytes, diskPrincipal(req.container))
 		} else if extra > 0 {
 			cost += extra
-			d.k.Tracer.Emitf(d.k.Now(), trace.KindFault, "disk latency spike +%v for %v", extra, req.container)
+			d.k.Tracer.Emitf(d.k.Now(), trace.KindFault, "disk latency spike +%v for %s", extra, diskPrincipal(req.container))
 		}
 	}
 	if d.k.Tracer.Enabled(trace.KindDispatch) {

@@ -10,10 +10,12 @@ import (
 // WatchInvariants registers the kernel's live state with the runtime
 // invariant checker: the container hierarchies reachable from every
 // process's default container (for the CPU-conservation and
-// non-negativity checks) and the bounded per-container protocol queues
-// (for the queue-bound check). The sources are re-evaluated at every
-// checker tick, so processes and containers created after this call are
-// still covered.
+// non-negativity checks), the bounded per-container protocol queues and
+// listen-socket accept/SYN queues (for the queue-bound check), and the
+// connection-lifecycle conservation invariant (every established
+// connection is open or closed exactly once — none lost). The sources
+// are re-evaluated at every checker tick, so processes, sockets and
+// containers created after this call are still covered.
 func (k *Kernel) WatchInvariants(ch *fault.Checker) {
 	ch.WatchContainerSource(func() []*rc.Container {
 		var out []*rc.Container
@@ -45,5 +47,32 @@ func (k *Kernel) WatchInvariants(ch *fault.Checker) {
 			}
 		}
 		return out
+	})
+	ch.WatchQueueSource(func() []fault.QueueState {
+		var out []fault.QueueState
+		for _, ls := range k.net.socks {
+			if ls.closed {
+				continue
+			}
+			out = append(out,
+				fault.QueueState{
+					Name:  "accept:" + ls.cfg.Local.String(),
+					Len:   ls.acceptQ.Len(),
+					Bound: ls.acceptQ.Cap(),
+				},
+				fault.QueueState{
+					Name:  "syn:" + ls.cfg.Local.String(),
+					Len:   ls.synQ.Len(),
+					Bound: ls.synQ.Cap(),
+				})
+		}
+		return out
+	})
+	ch.WatchCheck("conn-conservation", func() string {
+		est, closed, open := k.net.established, k.net.closed, uint64(len(k.net.conns))
+		if est != closed+open {
+			return fmt.Sprintf("established %d != closed %d + open %d", est, closed, open)
+		}
+		return ""
 	})
 }

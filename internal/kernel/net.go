@@ -42,6 +42,12 @@ type network struct {
 	conns  map[uint64]*Conn
 	socks  []*ListenSocket // creation order, for telemetry sampling
 	nextID uint64
+	// established and closed count connection lifecycle transitions for
+	// the conservation invariant: every connection ever established is
+	// either still open or has been closed exactly once, so
+	// established == closed + len(conns) at all times.
+	established uint64
+	closed      uint64
 }
 
 func newNetwork(k *Kernel) *network {
@@ -273,6 +279,7 @@ func (c *Conn) Close() {
 		_ = c.memHolder.ChargeMemory(-SocketBufferBytes)
 	}
 	delete(c.k.net.conns, c.id)
+	c.k.net.closed++
 }
 
 // Send transmits a response of the given size on the connection: the
@@ -627,6 +634,7 @@ func (k *Kernel) handleSYN(pkt *netsim.Packet, ls *ListenSocket) {
 		})
 	}
 	k.net.conns[conn.id] = conn
+	k.net.established++
 	ls.acceptQ.Push(conn)
 	if ls.cfg.OnAcceptable != nil {
 		ls.cfg.OnAcceptable(ls)
@@ -637,6 +645,17 @@ func (k *Kernel) handleSYN(pkt *netsim.Packet, ls *ListenSocket) {
 		k.eng.After(k.costs.WireDelay, func() { cb(conn) })
 	}
 }
+
+// ConnsEstablished returns how many connections the kernel has ever
+// established.
+func (k *Kernel) ConnsEstablished() uint64 { return k.net.established }
+
+// ConnsClosed returns how many established connections have been torn
+// down.
+func (k *Kernel) ConnsClosed() uint64 { return k.net.closed }
+
+// OpenConns returns the number of currently established connections.
+func (k *Kernel) OpenConns() int { return len(k.net.conns) }
 
 // LookupConn returns the connection with the given id, if established.
 func (k *Kernel) LookupConn(id uint64) (*Conn, bool) {

@@ -169,27 +169,45 @@ type Histogram struct {
 }
 
 // NewHistogram returns a histogram with n buckets of the given width;
-// samples at or beyond n*width land in an overflow bucket.
-func NewHistogram(width sim.Duration, n int) *Histogram {
+// samples at or beyond n*width land in an overflow bucket. A
+// non-positive width or bucket count is a configuration error, reported
+// as an error rather than a panic so callers that derive the shape from
+// untrusted input can surface it as a finding.
+func NewHistogram(width sim.Duration, n int) (*Histogram, error) {
 	if width <= 0 || n <= 0 {
-		panic(fmt.Sprintf("metrics: invalid histogram shape width=%v n=%d", width, n))
+		return nil, fmt.Errorf("metrics: invalid histogram shape width=%v n=%d", width, n)
 	}
-	return &Histogram{width: width, buckets: make([]uint64, n)}
+	return &Histogram{width: width, buckets: make([]uint64, n)}, nil
 }
 
-// Observe records one duration sample. Negative samples panic.
-func (h *Histogram) Observe(d sim.Duration) {
+// MustNewHistogram is NewHistogram that panics on an invalid shape —
+// the documented programmer-error guard for histograms with constant
+// shapes, where the arguments are literals and failure means a typo.
+func MustNewHistogram(width sim.Duration, n int) *Histogram {
+	h, err := NewHistogram(width, n)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Observe records one duration sample. A negative sample is rejected
+// with an error and not recorded; durations in this codebase come from
+// virtual-clock subtraction, so a negative value means the caller's
+// bookkeeping is broken.
+func (h *Histogram) Observe(d sim.Duration) error {
 	if d < 0 {
-		panic(fmt.Sprintf("metrics: negative histogram sample %v", d))
+		return fmt.Errorf("metrics: negative histogram sample %v", d)
 	}
 	h.count++
 	h.sum += d
 	idx := int(d / h.width)
 	if idx >= len(h.buckets) {
 		h.over++
-		return
+		return nil
 	}
 	h.buckets[idx]++
+	return nil
 }
 
 // Count returns the total number of samples (including overflow).

@@ -168,12 +168,18 @@ func TestSummaryMeanProperty(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
-	h := NewHistogram(sim.Millisecond, 10)
-	h.Observe(0)
-	h.Observe(500 * sim.Microsecond)
-	h.Observe(1500 * sim.Microsecond)
-	h.Observe(9999 * sim.Microsecond)
-	h.Observe(50 * sim.Millisecond) // overflow
+	h := MustNewHistogram(sim.Millisecond, 10)
+	for _, d := range []sim.Duration{
+		0,
+		500 * sim.Microsecond,
+		1500 * sim.Microsecond,
+		9999 * sim.Microsecond,
+		50 * sim.Millisecond, // overflow
+	} {
+		if err := h.Observe(d); err != nil {
+			t.Fatalf("Observe(%v): %v", d, err)
+		}
+	}
 	if h.Count() != 5 {
 		t.Fatalf("Count %d, want 5", h.Count())
 	}
@@ -192,29 +198,39 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
-func TestHistogramPanics(t *testing.T) {
-	for name, fn := range map[string]func(){
-		"zero width":      func() { NewHistogram(0, 10) },
-		"zero buckets":    func() { NewHistogram(sim.Millisecond, 0) },
-		"negative sample": func() { NewHistogram(sim.Millisecond, 1).Observe(-1) },
+func TestHistogramErrors(t *testing.T) {
+	for name, fn := range map[string]func() error{
+		"zero width":      func() error { _, err := NewHistogram(0, 10); return err },
+		"zero buckets":    func() error { _, err := NewHistogram(sim.Millisecond, 0); return err },
+		"negative sample": func() error { return MustNewHistogram(sim.Millisecond, 1).Observe(-1) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: expected panic", name)
-				}
-			}()
-			fn()
-		}()
+		if err := fn(); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
 	}
+	// The rejected sample must not be recorded.
+	h := MustNewHistogram(sim.Millisecond, 1)
+	_ = h.Observe(-1)
+	if h.Count() != 0 {
+		t.Fatalf("rejected sample was recorded: Count %d", h.Count())
+	}
+	// MustNewHistogram is the documented panic guard.
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewHistogram(0, 0) did not panic")
+		}
+	}()
+	MustNewHistogram(0, 0)
 }
 
 // Property: every observation lands in exactly one bucket or overflow.
 func TestHistogramConservation(t *testing.T) {
 	f := func(samples []uint32) bool {
-		h := NewHistogram(sim.Millisecond, 8)
+		h := MustNewHistogram(sim.Millisecond, 8)
 		for _, s := range samples {
-			h.Observe(sim.Duration(s))
+			if err := h.Observe(sim.Duration(s)); err != nil {
+				return false
+			}
 		}
 		var total uint64
 		for i := 0; i < h.NumBuckets(); i++ {

@@ -32,6 +32,11 @@ func ParseIP(s string) (IP, error) {
 }
 
 // MustParseIP is ParseIP for constant addresses; it panics on error.
+// This is a documented programmer-error guard: use it only for string
+// literals (test fixtures, experiment topology constants), where a parse
+// failure means a typo that should fail loudly at startup. Anything
+// parsing configuration or other runtime input must call ParseIP and
+// handle the error.
 func MustParseIP(s string) IP {
 	ip, err := ParseIP(s)
 	if err != nil {

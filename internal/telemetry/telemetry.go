@@ -223,6 +223,26 @@ func (c *Collector) TotalCPU() sim.Duration {
 	return total
 }
 
+// AttributedCPU sums the profile rows that represent processor time:
+// every stage except StageDisk, which records disk-device occupancy
+// rather than CPU consumption. This is the left-hand side of the CPU
+// conservation invariant — it must equal the machine's thread busy time
+// plus interrupt time whenever a collector is attached, in every kernel
+// mode.
+func (c *Collector) AttributedCPU() sim.Duration {
+	if c == nil {
+		return 0
+	}
+	var total sim.Duration
+	for k, d := range c.profile {
+		if k.stage == trace.StageDisk {
+			continue
+		}
+		total += d
+	}
+	return total
+}
+
 // ProfileRows returns the virtual-CPU profile sorted hottest-first: by
 // CPU descending, then principal, then stage — a total order, so the
 // rendering is identical across runs and across serial/parallel

@@ -60,6 +60,7 @@ package rescon
 import (
 	"time"
 
+	"rescon/internal/chaos"
 	"rescon/internal/fault"
 	"rescon/internal/httpsim"
 	"rescon/internal/kernel"
@@ -276,13 +277,49 @@ func NewFaultInjector(eng *Engine, cfg FaultConfig) *FaultInjector {
 func NewInvariantChecker(eng *Engine) *InvariantChecker { return fault.NewChecker(eng) }
 
 // StartCrasher schedules crash/restart cycles; see fault.StartCrasher.
-func StartCrasher(eng *Engine, plan CrashPlan, crash, restart func()) *Crasher {
+// It returns fault.ErrCrashPlan if the plan's MTBF is not positive.
+func StartCrasher(eng *Engine, plan CrashPlan, crash, restart func()) (*Crasher, error) {
 	return fault.StartCrasher(eng, plan, crash, restart)
 }
 
 // StartSlowLoris launches a slow-loris attacker; see
 // workload.StartSlowLoris.
 func StartSlowLoris(cfg SlowLorisConfig) *SlowLoris { return workload.StartSlowLoris(cfg) }
+
+// Deterministic chaos harness (internal/chaos): seed-generated
+// scenarios, an invariant battery, and auto-shrinking repros. See
+// DESIGN.md §9 and cmd/rcchaos.
+type (
+	// ChaosScenario is a fully serializable description of one chaos
+	// run: container hierarchy, workload mix, fault schedule, crash
+	// plan, kernel mode and machine shape — a pure function of its seed.
+	ChaosScenario = chaos.Scenario
+	// ChaosResult reports one chaos run: violations, the determinism
+	// hash, and the end-of-run resource counters.
+	ChaosResult = chaos.Result
+)
+
+// GenerateChaosScenario derives a random-but-valid scenario from the
+// seed; the same seed always yields the same scenario.
+func GenerateChaosScenario(seed uint64) ChaosScenario { return chaos.Generate(seed) }
+
+// RunChaos runs a scenario twice on fresh engines with the full
+// invariant battery and adds a violation if the two run hashes differ;
+// see chaos.RunChecked.
+func RunChaos(sc ChaosScenario) (*ChaosResult, error) { return chaos.RunChecked(sc) }
+
+// ShrinkChaosScenario greedily minimizes a failing scenario while it
+// still fails with the same violation class (see chaos.Classify).
+func ShrinkChaosScenario(sc ChaosScenario, class string) ChaosScenario {
+	return chaos.Shrink(sc, class)
+}
+
+// LoadChaosScenario reads and validates a scenario (repro) JSON file.
+func LoadChaosScenario(path string) (ChaosScenario, error) { return chaos.LoadScenario(path) }
+
+// ChaosSmoke generates `runs` scenarios starting at seed and runs each
+// under all three kernel modes, returning the first failure.
+func ChaosSmoke(runs int, seed uint64) error { return chaos.Smoke(runs, seed) }
 
 // Enforcer applies container CPU limits and accounting to real
 // (non-simulated) Go programs via cooperative bracketing — the userspace

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-baseline chaos-smoke chaos-nightly tier1 ci
+.PHONY: all build vet lint test race bench bench-baseline bench-check chaos-smoke chaos-nightly tier1 ci
 
 all: ci
 
@@ -34,6 +34,13 @@ bench:
 # are stable enough to compare against.
 bench-baseline:
 	$(GO) test -run - -bench . -benchmem -timeout 30m ./... | $(GO) run ./cmd/benchjson -o BENCH_baseline.json
+
+# Benchmark-regression gate: re-run the testing.B suite and diff against
+# the stored baseline — ns/op must stay within ±20%, and the pinned hot
+# paths (docs/PERFORMANCE.md) must stay at exactly 0 allocs/op.
+BENCH_TOL ?= 0.20
+bench-check:
+	$(GO) test -run - -bench . -benchmem -timeout 30m ./... | $(GO) run ./cmd/benchjson -check BENCH_baseline.json -tol $(BENCH_TOL)
 
 # Chaos harness smoke: a handful of seeded scenarios, each run under all
 # three kernel modes with the invariant battery and the determinism

@@ -3,6 +3,14 @@
 // (see `make bench-baseline` and docs/PERFORMANCE.md).
 //
 //	go test -run - -bench . -benchtime 1x ./... | go run ./cmd/benchjson -o BENCH_baseline.json
+//
+// With -check it becomes the regression gate instead (`make bench-check`):
+// the fresh run on stdin is compared against a stored baseline, failing on
+// any benchmark whose ns/op regressed beyond -tol, on baseline benchmarks
+// missing from the run, and on any allocation on the pinned hot paths —
+// those must stay at exactly 0 allocs/op regardless of tolerance.
+//
+//	go test -run - -bench . -benchmem ./... | go run ./cmd/benchjson -check BENCH_baseline.json -tol 0.20
 package main
 
 import (
@@ -97,8 +105,105 @@ func parseBench(fields []string) (Result, bool) {
 	return r, seenNs
 }
 
+// hotPaths are the allocation-free simulator inner loops pinned by
+// docs/PERFORMANCE.md: tolerance never applies to them — one alloc/op on
+// any of these multiplies into millions of allocations per experiment,
+// so the gate is hard zero.
+var hotPaths = []struct{ pkg, name string }{
+	{"rescon", "BenchmarkSimEngineEventChurn"},
+	{"rescon/internal/netsim", "BenchmarkQueuePushPop"},
+	{"rescon/internal/rc", "BenchmarkChargeCPUDepth3"},
+	{"rescon/internal/sched", "BenchmarkPick8Entities"},
+}
+
+// compare diffs a fresh run against the baseline. Failures are gate
+// violations (regressions past tol, vanished benchmarks, hot-path
+// allocations); notes are informational (big improvements worth a
+// baseline refresh, benchmarks the baseline does not know yet).
+func compare(baseline, current []Result, tol float64) (failures, notes []string) {
+	byKey := func(rs []Result) map[string]Result {
+		m := make(map[string]Result, len(rs))
+		for _, r := range rs {
+			m[r.Package+"."+r.Name] = r
+		}
+		return m
+	}
+	cur := byKey(current)
+	base := byKey(baseline)
+
+	for _, b := range baseline {
+		key := b.Package + "." + b.Name
+		c, ok := cur[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from this run", key))
+			continue
+		}
+		if b.NsPerOp > 0 {
+			ratio := c.NsPerOp / b.NsPerOp
+			switch {
+			case ratio > 1+tol:
+				failures = append(failures, fmt.Sprintf("%s: %.4g ns/op vs baseline %.4g (+%.0f%%, tolerance %.0f%%)",
+					key, c.NsPerOp, b.NsPerOp, (ratio-1)*100, tol*100))
+			case ratio < 1-tol:
+				notes = append(notes, fmt.Sprintf("%s: %.4g ns/op vs baseline %.4g (%.0f%% faster — refresh the baseline?)",
+					key, c.NsPerOp, b.NsPerOp, (1-ratio)*100))
+			}
+		}
+	}
+	for _, hp := range hotPaths {
+		key := hp.pkg + "." + hp.name
+		c, ok := cur[key]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("%s: pinned hot path missing from this run", key))
+		case c.AllocsPerOp == nil:
+			failures = append(failures, fmt.Sprintf("%s: pinned hot path reported no allocs/op (run with -benchmem)", key))
+		case *c.AllocsPerOp != 0:
+			failures = append(failures, fmt.Sprintf("%s: %g allocs/op on a pinned hot path, want 0", key, *c.AllocsPerOp))
+		}
+	}
+	for _, c := range current {
+		key := c.Package + "." + c.Name
+		if _, ok := base[key]; !ok {
+			notes = append(notes, fmt.Sprintf("%s: new benchmark, not in the baseline", key))
+		}
+	}
+	return failures, notes
+}
+
+// runCheck is the -check mode: exit 0 when the run on stdin holds the
+// baseline, 1 on any gate violation.
+func runCheck(baselinePath string, tol float64, current []Result) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	var baseline []Result
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", baselinePath, err)
+		return 2
+	}
+	failures, notes := compare(baseline, current, tol)
+	for _, n := range notes {
+		fmt.Printf("note: %s\n", n)
+	}
+	for _, f := range failures {
+		fmt.Printf("FAIL: %s\n", f)
+	}
+	if len(failures) > 0 {
+		fmt.Printf("benchjson: %d regression(s) against %s\n", len(failures), baselinePath)
+		return 1
+	}
+	fmt.Printf("benchjson: %d benchmark(s) within ±%.0f%% of %s, hot paths allocation-free\n",
+		len(baseline), tol*100, baselinePath)
+	return 0
+}
+
 func main() {
 	outPath := flag.String("o", "", "output file (default stdout)")
+	checkPath := flag.String("check", "", "compare stdin against this baseline JSON instead of converting")
+	tol := flag.Float64("tol", 0.20, "ns/op tolerance for -check (0.20 = ±20%)")
 	flag.Parse()
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -111,6 +216,9 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
 		os.Exit(1)
+	}
+	if *checkPath != "" {
+		os.Exit(runCheck(*checkPath, *tol, results))
 	}
 	enc, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {

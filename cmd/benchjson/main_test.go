@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+// hotSet returns results covering every pinned hot path at 0 allocs/op,
+// so tests can focus on the case under test without tripping the gate.
+func hotSet(ns float64) []Result {
+	out := make([]Result, 0, len(hotPaths))
+	for _, hp := range hotPaths {
+		out = append(out, Result{Package: hp.pkg, Name: hp.name, NsPerOp: ns, AllocsPerOp: fp(0)})
+	}
+	return out
+}
+
+func TestCompareClean(t *testing.T) {
+	base := append(hotSet(100), Result{Package: "p", Name: "BenchmarkX", NsPerOp: 100})
+	cur := append(hotSet(110), Result{Package: "p", Name: "BenchmarkX", NsPerOp: 119})
+	failures, notes := compare(base, cur, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("clean run failed the gate: %v", failures)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes: %v", notes)
+	}
+}
+
+func TestCompareRegressionBeyondTolerance(t *testing.T) {
+	base := append(hotSet(100), Result{Package: "p", Name: "BenchmarkX", NsPerOp: 100})
+	cur := append(hotSet(100), Result{Package: "p", Name: "BenchmarkX", NsPerOp: 121})
+	failures, _ := compare(base, cur, 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "p.BenchmarkX") {
+		t.Fatalf("regression not flagged: %v", failures)
+	}
+}
+
+func TestCompareImprovementIsNoteNotFailure(t *testing.T) {
+	base := append(hotSet(100), Result{Package: "p", Name: "BenchmarkX", NsPerOp: 100})
+	cur := append(hotSet(100), Result{Package: "p", Name: "BenchmarkX", NsPerOp: 50})
+	failures, notes := compare(base, cur, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("improvement failed the gate: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "faster") {
+		t.Fatalf("improvement not noted: %v", notes)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := append(hotSet(100), Result{Package: "p", Name: "BenchmarkGone", NsPerOp: 100})
+	failures, _ := compare(base, hotSet(100), 0.20)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing from this run") {
+		t.Fatalf("vanished benchmark not flagged: %v", failures)
+	}
+}
+
+func TestCompareNewBenchmarkIsNote(t *testing.T) {
+	cur := append(hotSet(100), Result{Package: "p", Name: "BenchmarkNew", NsPerOp: 100})
+	failures, notes := compare(hotSet(100), cur, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("new benchmark failed the gate: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "new benchmark") {
+		t.Fatalf("new benchmark not noted: %v", notes)
+	}
+}
+
+func TestCompareHotPathAllocGateIsHard(t *testing.T) {
+	// One alloc/op on a hot path fails even with an absurd tolerance and
+	// identical ns/op.
+	cur := hotSet(100)
+	cur[0].AllocsPerOp = fp(1)
+	failures, _ := compare(hotSet(100), cur, 100)
+	if len(failures) != 1 || !strings.Contains(failures[0], "pinned hot path") {
+		t.Fatalf("hot-path allocation not flagged: %v", failures)
+	}
+
+	// A hot path that stopped reporting allocs at all also fails: the
+	// guard must never silently become vacuous.
+	cur = hotSet(100)
+	cur[1].AllocsPerOp = nil
+	failures, _ = compare(hotSet(100), cur, 100)
+	if len(failures) != 1 || !strings.Contains(failures[0], "-benchmem") {
+		t.Fatalf("missing allocs/op not flagged: %v", failures)
+	}
+
+	// A hot path absent from the run entirely fails even if the baseline
+	// does not list it.
+	failures, _ = compare(nil, hotSet(100)[1:], 100)
+	if len(failures) != 1 || !strings.Contains(failures[0], "hot path missing") {
+		t.Fatalf("absent hot path not flagged: %v", failures)
+	}
+}
+
+func TestHotPathsExistInBenchOutputFormat(t *testing.T) {
+	// The pinned names must parse out of real `go test -bench` output —
+	// a renamed benchmark should fail this test, not silently skip the
+	// alloc gate (compare would catch it at gate time; this catches the
+	// typo at unit-test time).
+	var lines []string
+	for _, hp := range hotPaths {
+		lines = append(lines,
+			hp.name+"-8   1000000   5.0 ns/op   0 B/op   0 allocs/op",
+			"ok   "+hp.pkg+"  1.0s")
+	}
+	results, err := parse(bufio.NewScanner(strings.NewReader(strings.Join(lines, "\n"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	failures, _ := compare(results, results, 0.20)
+	if len(failures) != 0 {
+		t.Fatalf("round-trip of the pinned hot paths failed the gate: %v", failures)
+	}
+}

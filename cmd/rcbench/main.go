@@ -138,6 +138,14 @@ var runners = []runner{
 		printSeries("Extension: served vs. offered load — overload stability (req/s)",
 			"offered (req/s)", experiments.Overload(opt)...)
 	})},
+	{"alerting", true, func(opt experiments.Options) error {
+		res, err := experiments.Alerting(opt)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		return nil
+	}},
 	{"chaos", true, func(opt experiments.Options) error {
 		// Short windows (-quick) run fewer scenarios; each scenario runs
 		// under all three kernel modes with the determinism double-run.

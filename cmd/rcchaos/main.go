@@ -1,7 +1,8 @@
 // Command rcchaos drives the deterministic chaos harness: it generates
 // seeded scenarios over the simulated resource-container server, runs
 // each one under all three kernel modes with the full invariant battery
-// and the determinism double-run, and — on failure — shrinks the
+// (including the alert-flap and missed-detection checks over the alert
+// stream) and the determinism double-run, and — on failure — shrinks the
 // scenario to a minimal repro and writes it as JSON.
 //
 // Usage:
@@ -9,13 +10,17 @@
 //	rcchaos -run 200 -seed 1            # 200 scenarios × 3 modes
 //	rcchaos -repro chaos-repro-42.json  # replay a shipped repro
 //
-// Exit status is non-zero when any run violates an invariant. Repro
-// files land in -out (default ".") as chaos-repro-<seed>-<mode>.json.
+// Exit status distinguishes failure kinds so CI and scripts can react:
+// 0 all runs clean, 1 invariant or alert violations, 2 usage or
+// configuration errors. Repro files land in -out (default ".") as
+// chaos-repro-<seed>-<mode>.json.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -24,45 +29,105 @@ import (
 	"rescon/internal/chaos"
 )
 
+// Exit codes. The distinction lets callers tell "the system is broken"
+// (a violation — page someone) from "the invocation is broken" (fix the
+// command line) without parsing output.
+const (
+	exitOK        = 0
+	exitViolation = 1 // invariant or alert violations, or an error during a sweep run
+	exitUsage     = 2 // usage or configuration errors: bad flags, unreadable repro, missing -out
+)
+
+// Test seams: regression tests substitute these to exercise the exit-code
+// mapping without constructing a genuinely violating scenario.
+var (
+	runChecked = chaos.RunChecked
+	shrinkFn   = chaos.Shrink
+)
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses args and dispatches to replay or sweep, returning the
+// process exit code. It is the whole program minus os.Exit, so tests can
+// assert exit codes directly.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rcchaos", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runs    = flag.Int("run", 20, "number of scenarios to generate and run (each under all three kernel modes)")
-		seed    = flag.Uint64("seed", 1, "first scenario seed; scenario i uses seed+i")
-		repro   = flag.String("repro", "", "replay a repro JSON file instead of generating scenarios")
-		out     = flag.String("out", ".", "directory for repro files of failing scenarios")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel scenario runners (each scenario is internally serial)")
-		verbose = flag.Bool("v", false, "print every run, not just failures")
+		runs    = fs.Int("run", 20, "number of scenarios to generate and run (each under all three kernel modes)")
+		seed    = fs.Uint64("seed", 1, "first scenario seed; scenario i uses seed+i")
+		repro   = fs.String("repro", "", "replay a repro JSON file instead of generating scenarios")
+		out     = fs.String("out", ".", "directory for repro files of failing scenarios")
+		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel scenario runners (each scenario is internally serial)")
+		verbose = fs.Bool("v", false, "print every run, not just failures")
 	)
-	flag.Parse()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: rcchaos [flags]\n\nFlags:\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, `
+Exit status:
+  0  all runs clean
+  1  invariant or alert violations (including a repro that still fails),
+     or an error while running a sweep cell
+  2  usage or configuration errors: bad flags, -run/-workers < 1, an
+     unreadable or invalid -repro file, or a missing -out directory
+`)
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitOK
+		}
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "rcchaos: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return exitUsage
+	}
 
 	if *repro != "" {
-		os.Exit(replay(*repro))
+		return replay(*repro, stdout, stderr)
 	}
-	os.Exit(sweep(*runs, *seed, *out, *workers, *verbose))
+
+	if *runs < 1 {
+		fmt.Fprintf(stderr, "rcchaos: -run must be >= 1 (got %d)\n", *runs)
+		return exitUsage
+	}
+	if *workers < 1 {
+		fmt.Fprintf(stderr, "rcchaos: -workers must be >= 1 (got %d)\n", *workers)
+		return exitUsage
+	}
+	if info, err := os.Stat(*out); err != nil || !info.IsDir() {
+		fmt.Fprintf(stderr, "rcchaos: -out %q is not an existing directory\n", *out)
+		return exitUsage
+	}
+	return sweep(*runs, *seed, *out, *workers, *verbose, stdout, stderr)
 }
 
 // replay loads and re-runs a repro file, printing its outcome.
-func replay(path string) int {
+func replay(path string, stdout, stderr io.Writer) int {
 	sc, err := chaos.LoadScenario(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+		fmt.Fprintln(stderr, err)
+		return exitUsage
 	}
-	r, err := chaos.RunChecked(sc)
+	r, err := runChecked(sc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
+		fmt.Fprintln(stderr, err)
+		return exitUsage
 	}
-	fmt.Printf("seed %d mode %s: hash %016x, %d violation(s)\n",
+	fmt.Fprintf(stdout, "seed %d mode %s: hash %016x, %d violation(s)\n",
 		sc.Seed, sc.Mode, r.Hash, len(r.Violations))
 	for _, v := range r.Violations {
-		fmt.Println("  " + v)
+		fmt.Fprintln(stdout, "  "+v)
 	}
 	if r.Failed() {
-		return 1
+		return exitViolation
 	}
-	fmt.Println("repro ran clean (the failure it reproduced is fixed)")
-	return 0
+	fmt.Fprintln(stdout, "repro ran clean (the failure it reproduced is fixed)")
+	return exitOK
 }
 
 // cell is one (scenario, mode) unit of the sweep.
@@ -76,7 +141,7 @@ type cell struct {
 // fanning cells across workers. Every cell is an independent engine, so
 // parallelism never changes results; reporting stays in deterministic
 // (seed, mode) order. Each failure is shrunk and written as a repro.
-func sweep(runs int, seed uint64, out string, workers int, verbose bool) int {
+func sweep(runs int, seed uint64, out string, workers int, verbose bool, stdout, stderr io.Writer) int {
 	cells := make([]cell, runs*len(chaos.ModeNames))
 	for i := 0; i < runs; i++ {
 		sc := chaos.Generate(seed + uint64(i))
@@ -85,9 +150,6 @@ func sweep(runs int, seed uint64, out string, workers int, verbose bool) int {
 			cells[i*len(chaos.ModeNames)+m] = cell{sc: sc}
 		}
 	}
-	if workers < 1 {
-		workers = 1
-	}
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -95,7 +157,7 @@ func sweep(runs int, seed uint64, out string, workers int, verbose bool) int {
 		go func() {
 			defer wg.Done()
 			for idx := range work {
-				cells[idx].res, cells[idx].err = chaos.RunChecked(cells[idx].sc)
+				cells[idx].res, cells[idx].err = runChecked(cells[idx].sc)
 			}
 		}()
 	}
@@ -110,36 +172,36 @@ func sweep(runs int, seed uint64, out string, workers int, verbose bool) int {
 		switch {
 		case c.err != nil:
 			failures++
-			fmt.Fprintf(os.Stderr, "seed %d mode %s: ERROR: %v\n", c.sc.Seed, c.sc.Mode, c.err)
+			fmt.Fprintf(stderr, "seed %d mode %s: ERROR: %v\n", c.sc.Seed, c.sc.Mode, c.err)
 		case c.res.Failed():
 			failures++
-			fmt.Printf("seed %d mode %s: FAIL (%d violation(s), classes %v)\n",
+			fmt.Fprintf(stdout, "seed %d mode %s: FAIL (%d violation(s), classes %v)\n",
 				c.sc.Seed, c.sc.Mode, len(c.res.Violations), chaos.Classes(c.res))
-			fmt.Println("  " + c.res.Violations[0])
-			writeRepro(c, out)
+			fmt.Fprintln(stdout, "  "+c.res.Violations[0])
+			writeRepro(c, out, stdout, stderr)
 		case verbose:
-			fmt.Printf("seed %d mode %s: ok (hash %016x, %d conns, %d completed)\n",
+			fmt.Fprintf(stdout, "seed %d mode %s: ok (hash %016x, %d conns, %d completed)\n",
 				c.sc.Seed, c.sc.Mode, c.res.Hash, c.res.Established, c.res.Completed)
 		}
 	}
-	fmt.Printf("chaos: %d scenario(s) × %d mode(s): %d failure(s)\n",
+	fmt.Fprintf(stdout, "chaos: %d scenario(s) × %d mode(s): %d failure(s)\n",
 		runs, len(chaos.ModeNames), failures)
 	if failures > 0 {
-		return 1
+		return exitViolation
 	}
-	return 0
+	return exitOK
 }
 
 // writeRepro shrinks a failing cell and writes the minimal scenario as
 // an indented JSON repro file.
-func writeRepro(c cell, out string) {
+func writeRepro(c cell, out string, stdout, stderr io.Writer) {
 	class := chaos.Classes(c.res)[0]
-	shrunk := chaos.Shrink(c.sc, class)
+	shrunk := shrinkFn(c.sc, class)
 	path := filepath.Join(out, fmt.Sprintf("chaos-repro-%d-%s.json", c.sc.Seed, c.sc.Mode))
 	if err := shrunk.WriteFile(path); err != nil {
-		fmt.Fprintf(os.Stderr, "  writing repro: %v\n", err)
+		fmt.Fprintf(stderr, "  writing repro: %v\n", err)
 		return
 	}
-	fmt.Printf("  shrunk to %d container(s), %d workload(s); repro: %s\n",
+	fmt.Fprintf(stdout, "  shrunk to %d container(s), %d workload(s); repro: %s\n",
 		len(shrunk.Containers), len(shrunk.Workloads), path)
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rescon/internal/chaos"
+)
+
+// stubRun substitutes the chaos runner (and neuters the shrinker) for
+// the duration of a test, so exit-code paths can be exercised without
+// constructing a genuinely violating scenario.
+func stubRun(t *testing.T, fn func(chaos.Scenario) (*chaos.Result, error)) {
+	t.Helper()
+	oldRun, oldShrink := runChecked, shrinkFn
+	runChecked = fn
+	shrinkFn = func(sc chaos.Scenario, class string) chaos.Scenario { return sc }
+	t.Cleanup(func() { runChecked, shrinkFn = oldRun, oldShrink })
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-run", "notanumber"},
+		{"-run", "0"},
+		{"-run", "1", "-workers", "0"},
+		{"-run", "1", "-out", filepath.Join(t.TempDir(), "missing")},
+		{"-repro", filepath.Join(t.TempDir(), "missing.json")},
+		{"stray-positional-arg"},
+	}
+	for _, args := range cases {
+		if code := run(args, io.Discard, io.Discard); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestHelpDocumentsExitCodesAndExitsZero(t *testing.T) {
+	var stderr bytes.Buffer
+	if code := run([]string{"-h"}, io.Discard, &stderr); code != exitOK {
+		t.Fatalf("run(-h) = %d, want %d", code, exitOK)
+	}
+	help := stderr.String()
+	for _, want := range []string{"Exit status", "invariant or alert violations", "usage or configuration errors"} {
+		if !strings.Contains(help, want) {
+			t.Errorf("-h output does not document %q:\n%s", want, help)
+		}
+	}
+}
+
+func TestInvalidReproFileExitsTwo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-repro", path}, io.Discard, io.Discard); code != exitUsage {
+		t.Fatalf("replaying a corrupt repro = %d, want %d", code, exitUsage)
+	}
+}
+
+func TestViolationsExitOne(t *testing.T) {
+	stubRun(t, func(sc chaos.Scenario) (*chaos.Result, error) {
+		return &chaos.Result{Violations: []string{
+			"fault: invariant violated at 42ms: alert-flap: alert stream flapped (1 total)",
+		}}, nil
+	})
+
+	// Sweep path: one failing scenario.
+	out := t.TempDir()
+	var stdout bytes.Buffer
+	if code := run([]string{"-run", "1", "-seed", "7", "-out", out}, &stdout, io.Discard); code != exitViolation {
+		t.Fatalf("sweep with violations = %d, want %d\n%s", code, exitViolation, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "alert-flap") {
+		t.Errorf("sweep output does not name the failure class:\n%s", stdout.String())
+	}
+
+	// Replay path: a repro that still fails.
+	repro := filepath.Join(out, "chaos-repro-7-rc.json")
+	if code := run([]string{"-repro", repro}, io.Discard, io.Discard); code != exitViolation {
+		t.Fatalf("replaying a failing repro = %d, want %d", code, exitViolation)
+	}
+}
+
+func TestCleanRunsExitZero(t *testing.T) {
+	stubRun(t, func(sc chaos.Scenario) (*chaos.Result, error) {
+		return &chaos.Result{}, nil
+	})
+	if code := run([]string{"-run", "2", "-out", t.TempDir()}, io.Discard, io.Discard); code != exitOK {
+		t.Fatalf("clean sweep = %d, want %d", code, exitOK)
+	}
+
+	// And without the stub: one real scenario end to end, all modes.
+	stubRun(t, chaos.RunChecked)
+	var stdout bytes.Buffer
+	if code := run([]string{"-run", "1", "-seed", "1", "-v", "-out", t.TempDir()}, &stdout, io.Discard); code != exitOK {
+		t.Fatalf("real single-scenario sweep = %d, want %d\n%s", code, exitOK, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "0 failure(s)") {
+		t.Errorf("sweep summary missing:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,285 @@
+// Watchdog: the closed loop on top of the detectors. On a critical
+// overload alert it tightens the kernel's admission control (the same
+// knob the paper's Fig. 16 defense uses) and, when one clampable
+// container dominates recent CPU, caps that container's allocation via
+// SetAttributes. Once every trigger alert has cleared it restores the
+// saved settings after an exponential-backoff delay, so a borderline
+// system does not oscillate between policed and unpoliced.
+
+package alert
+
+import (
+	"fmt"
+
+	"rescon/internal/kernel"
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+)
+
+// Watchdog reaction defaults, in sampling ticks where noted.
+const (
+	// DefaultTightSYNFrac is the emergency SYN admission fraction —
+	// four times tighter than the kernel's DefaultSYNPoliceFrac (1/16).
+	DefaultTightSYNFrac = 1.0 / 64
+	// DefaultClampLimit is the CPU-fraction cap applied to a runaway
+	// clampable container while the watchdog is engaged.
+	DefaultClampLimit = 0.5
+	// DefaultBackoffTicks is the initial delay between the last trigger
+	// alert clearing and the watchdog restoring saved settings.
+	DefaultBackoffTicks = 16
+	// DefaultMaxBackoffTicks caps the exponential restore backoff.
+	DefaultMaxBackoffTicks = 256
+	// ClampWindowTicks is the CPU-accounting window used to decide
+	// which clampable container is the runaway.
+	ClampWindowTicks = 8
+)
+
+// WatchdogConfig tunes the closed loop; zero values take the defaults
+// above.
+type WatchdogConfig struct {
+	// Triggers are the check names whose critical alerts engage the
+	// watchdog. Default: syn-drops, backlog-pressure, runqueue,
+	// interrupt-load and embryonic — the last two are the only checks
+	// that see receive livelock on the unmodified kernel, where every
+	// queue-level signal stays calm.
+	Triggers []string
+	// TightSYNFrac replaces Policing.SYNFrac while engaged.
+	TightSYNFrac float64
+	// ClampLimit is the Attributes.Limit applied to a runaway container.
+	ClampLimit float64
+	// BackoffTicks / MaxBackoffTicks control the restore delay and its
+	// exponential growth when the watchdog re-engages soon after a
+	// restore.
+	BackoffTicks    int
+	MaxBackoffTicks int
+	// Clampable lists the containers the watchdog may cap. Only
+	// explicitly listed containers are ever touched — clamping the
+	// server's own container would convert an overload into an outage.
+	Clampable []*rc.Container
+}
+
+func (cfg WatchdogConfig) withDefaults() WatchdogConfig {
+	if len(cfg.Triggers) == 0 {
+		cfg.Triggers = []string{CheckSynDrops, CheckBacklog, CheckRunQueue, CheckInterruptLoad, CheckEmbryonic}
+	}
+	if cfg.TightSYNFrac <= 0 {
+		cfg.TightSYNFrac = DefaultTightSYNFrac
+	}
+	if cfg.ClampLimit <= 0 {
+		cfg.ClampLimit = DefaultClampLimit
+	}
+	if cfg.BackoffTicks <= 0 {
+		cfg.BackoffTicks = DefaultBackoffTicks
+	}
+	if cfg.MaxBackoffTicks <= 0 {
+		cfg.MaxBackoffTicks = DefaultMaxBackoffTicks
+	}
+	return cfg
+}
+
+// Watchdog holds the closed-loop state: which trigger keys are
+// critical, the saved pre-engagement settings, and the restore
+// countdown. It is driven entirely by the monitor's event and tick
+// hooks.
+type Watchdog struct {
+	m   *Monitor
+	k   *kernel.Kernel
+	cfg WatchdogConfig
+
+	critical map[key]bool // trigger keys currently at LevelCritical
+
+	engaged     bool
+	savedPolice kernel.Policing
+	clamped     *rc.Container
+	savedAttrs  rc.Attributes
+
+	countdown      int // ticks until restore; -1 when no restore pending
+	backoff        int
+	hasRestored    bool
+	restoredAtTick uint64
+
+	engagements uint64
+	restores    uint64
+
+	// per-clampable CPU history ring for runaway detection.
+	prevCPU []sim.Duration
+	deltas  [][]sim.Duration
+	histPos int
+}
+
+// AttachWatchdog wires a watchdog to a monitor's event stream and tick
+// hook. Call after Attach, before running load.
+func AttachWatchdog(m *Monitor, k *kernel.Kernel, cfg WatchdogConfig) *Watchdog {
+	w := &Watchdog{
+		m: m, k: k, cfg: cfg.withDefaults(),
+		critical:  make(map[key]bool),
+		countdown: -1,
+	}
+	w.backoff = w.cfg.BackoffTicks
+	w.prevCPU = make([]sim.Duration, len(w.cfg.Clampable))
+	w.deltas = make([][]sim.Duration, len(w.cfg.Clampable))
+	for i, c := range w.cfg.Clampable {
+		w.prevCPU[i] = c.Usage().CPU()
+		w.deltas[i] = make([]sim.Duration, ClampWindowTicks)
+	}
+	m.OnEvent(w.onEvent)
+	m.OnTick(w.onTick)
+	return w
+}
+
+// Engaged reports whether the watchdog's emergency settings are
+// currently applied.
+func (w *Watchdog) Engaged() bool { return w.engaged }
+
+// Engagements returns how many times the watchdog has engaged.
+func (w *Watchdog) Engagements() uint64 { return w.engagements }
+
+// Restores returns how many times saved settings have been restored.
+func (w *Watchdog) Restores() uint64 { return w.restores }
+
+func (w *Watchdog) isTrigger(check string) bool {
+	for _, t := range w.cfg.Triggers {
+		if t == check {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *Watchdog) onEvent(ev Event) {
+	if !w.isTrigger(ev.Check) {
+		return
+	}
+	k := key{ev.Check, ev.Target}
+	if ev.Level == LevelCritical {
+		w.critical[k] = true
+		w.engage(ev)
+		return
+	}
+	if !w.critical[k] {
+		return
+	}
+	delete(w.critical, k)
+	if w.engaged && len(w.critical) == 0 && w.countdown < 0 {
+		// All trigger alerts have cleared critical; schedule the
+		// restore after the current backoff.
+		w.countdown = w.backoff
+		w.m.Note(ev.At, WatchdogCheckName, "(watchdog)", LevelOk,
+			fmt.Sprintf("overload cleared; restore in %d tick(s)", w.countdown))
+	}
+}
+
+func (w *Watchdog) engage(ev Event) {
+	if w.engaged {
+		// Overload returned while waiting to restore: cancel the
+		// countdown, keep the emergency settings.
+		w.countdown = -1
+		return
+	}
+	w.engaged = true
+	w.engagements++
+	if w.hasRestored && w.m.Ticks()-w.restoredAtTick <= FlapWindowTicks {
+		// Re-engaged right after restoring — the restore was premature.
+		// Back off harder next time.
+		w.backoff *= 2
+		if w.backoff > w.cfg.MaxBackoffTicks {
+			w.backoff = w.cfg.MaxBackoffTicks
+		}
+	} else {
+		w.backoff = w.cfg.BackoffTicks
+	}
+	w.countdown = -1
+
+	w.savedPolice = w.k.Police
+	w.k.Police.Enabled = true
+	w.k.Police.SYNFrac = w.cfg.TightSYNFrac
+	w.m.Note(ev.At, WatchdogCheckName, "(watchdog)", LevelCritical,
+		fmt.Sprintf("engaged on %s/%s: policing tightened syn_frac=%g (was enabled=%t syn_frac=%g)",
+			ev.Check, ev.Target, w.cfg.TightSYNFrac, w.savedPolice.Enabled, w.savedPolice.SYNFrac))
+
+	if c := w.runaway(); c != nil {
+		attrs := c.Attributes()
+		if attrs.Limit == 0 || attrs.Limit > w.cfg.ClampLimit {
+			w.clamped = c
+			w.savedAttrs = attrs
+			attrs.Limit = w.cfg.ClampLimit
+			if err := c.SetAttributes(attrs); err != nil {
+				w.clamped = nil
+			} else {
+				w.m.Note(ev.At, WatchdogCheckName, c.Name(), LevelCritical,
+					fmt.Sprintf("clamped runaway container limit=%g (was %g)", w.cfg.ClampLimit, w.savedAttrs.Limit))
+			}
+		}
+	}
+}
+
+// runaway returns the clampable container that dominated CPU over the
+// last ClampWindowTicks: it must have consumed more than half the CPU
+// charged to all clampables in the window. Ties and quiet windows
+// return nil — the watchdog never guesses.
+func (w *Watchdog) runaway() *rc.Container {
+	var total sim.Duration
+	sums := make([]sim.Duration, len(w.cfg.Clampable))
+	for i := range w.cfg.Clampable {
+		for _, d := range w.deltas[i] {
+			sums[i] += d
+		}
+		total += sums[i]
+	}
+	if total <= 0 {
+		return nil
+	}
+	best, bestIdx := sim.Duration(0), -1
+	for i, s := range sums {
+		if s > best {
+			best, bestIdx = s, i
+		}
+	}
+	if bestIdx < 0 || best*2 <= total {
+		return nil
+	}
+	c := w.cfg.Clampable[bestIdx]
+	if c.Destroyed() {
+		return nil
+	}
+	return c
+}
+
+func (w *Watchdog) onTick(at sim.Time) {
+	// Advance the CPU window ring.
+	if len(w.cfg.Clampable) > 0 {
+		for i, c := range w.cfg.Clampable {
+			cur := c.Usage().CPU()
+			w.deltas[i][w.histPos] = cur - w.prevCPU[i]
+			w.prevCPU[i] = cur
+		}
+		w.histPos = (w.histPos + 1) % ClampWindowTicks
+	}
+
+	if !w.engaged || w.countdown < 0 {
+		return
+	}
+	w.countdown--
+	if w.countdown > 0 {
+		return
+	}
+	w.restore(at)
+}
+
+func (w *Watchdog) restore(at sim.Time) {
+	w.k.Police = w.savedPolice
+	detail := fmt.Sprintf("restored policing enabled=%t syn_frac=%g", w.savedPolice.Enabled, w.savedPolice.SYNFrac)
+	if w.clamped != nil {
+		if !w.clamped.Destroyed() {
+			_ = w.clamped.SetAttributes(w.savedAttrs)
+		}
+		detail += fmt.Sprintf("; unclamped %s limit=%g", w.clamped.Name(), w.savedAttrs.Limit)
+		w.clamped = nil
+	}
+	w.engaged = false
+	w.countdown = -1
+	w.hasRestored = true
+	w.restoredAtTick = w.m.Ticks()
+	w.restores++
+	w.m.Note(at, WatchdogCheckName, "(watchdog)", LevelOk, detail)
+}

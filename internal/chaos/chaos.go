@@ -25,8 +25,14 @@
 //     nothing external (crashes, wire faults, disk queues) can stall
 //     it, a high-priority container with runnable work must make
 //     progress whenever the machine does.
+//   - Alert-flap: the alert monitor's flap counter stays zero — the
+//     hysteresis/damping pipeline must absorb every oscillation the
+//     scenario throws at it.
+//   - Missed-detection: the monitor's self-check stays clean — any
+//     signal that sustained a threshold long enough to raise must have
+//     produced the corresponding event.
 //   - Determinism: re-running a scenario must produce a byte-identical
-//     state digest (RunChecked).
+//     state digest (RunChecked), alert stream included.
 //
 // Entry points: Generate (seed → Scenario), Run / RunChecked (Scenario
 // → Result), Shrink (failing Scenario → minimal Scenario), Smoke (the
@@ -41,7 +47,7 @@ import (
 // Classify maps a violation string to its failure class, the unit of
 // "fails the same way" used by Shrink and the rcchaos triage output.
 func Classify(v string) string {
-	for _, c := range []string{"cpu-conservation", "conn-conservation", "isolation-floor", "determinism"} {
+	for _, c := range []string{"cpu-conservation", "conn-conservation", "isolation-floor", "alert-flap", "missed-detection", "determinism"} {
 		if strings.Contains(v, c) {
 			return c
 		}

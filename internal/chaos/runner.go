@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"rescon/internal/alert"
 	"rescon/internal/experiments"
 	"rescon/internal/fault"
 	"rescon/internal/httpsim"
@@ -57,6 +58,8 @@ type Result struct {
 	PolicedDrops  uint64
 	Crashes       uint64
 	Restarts      uint64
+	AlertEvents   uint64
+	AlertFlaps    uint64
 }
 
 // Failed reports whether any invariant was violated.
@@ -92,10 +95,20 @@ func Run(sc Scenario) (*Result, error) {
 	tel.SetRun(int64(sc.Seed), sc.Mode)
 	k.Police.Enabled = sc.Policing
 
+	// Alert monitor, detection-only: no watchdog, so the alerting layer
+	// observes the run without perturbing its trajectory. Its event
+	// stream joins the determinism hash, and two of its properties are
+	// invariants — alerts must not flap, and a sustained overload must
+	// never go unreported (SelfCheck).
+	mon, err := alert.Attach(k, alert.Config{})
+	if err != nil {
+		return nil, err
+	}
+
 	check := fault.NewChecker(eng)
 	check.FailFast = false
 	k.WatchInvariants(check)
-	check.WatchCheck("cpu-conservation", func() string {
+	check.MustWatchCheck("cpu-conservation", func() string {
 		attr, acct := tel.AttributedCPU(), k.BusyTime()+k.InterruptTime()
 		diff := attr - acct
 		if diff < 0 {
@@ -106,6 +119,23 @@ func Run(sc Scenario) (*Result, error) {
 				attr, k.BusyTime(), k.InterruptTime())
 		}
 		return ""
+	})
+	var reportedFlaps uint64
+	check.MustWatchCheck("alert-flap", func() string {
+		if f := mon.Flaps(); f > reportedFlaps {
+			reportedFlaps = f
+			return fmt.Sprintf("alert stream flapped (%d total): hysteresis failed to suppress churn", f)
+		}
+		return ""
+	})
+	var lastMissed string
+	check.MustWatchCheck("missed-detection", func() string {
+		msg := mon.SelfCheck()
+		if msg == lastMissed {
+			return ""
+		}
+		lastMissed = msg
+		return msg
 	})
 
 	// Container hierarchy. The first two fixed-share containers (in spec
@@ -253,7 +283,7 @@ func Run(sc Scenario) (*Result, error) {
 	if floorOn {
 		probe := &floorProbe{k: k, pop: premium}
 		eng.Every(floorProbePeriod, probe.tick)
-		check.WatchCheck("isolation-floor", probe.take)
+		check.MustWatchCheck("isolation-floor", probe.take)
 	}
 
 	if sc.Mutation == MutationPhantomCPU {
@@ -289,7 +319,9 @@ func Run(sc Scenario) (*Result, error) {
 	if cr != nil {
 		res.Crashes, res.Restarts = cr.Crashes(), cr.Restarts()
 	}
-	res.Hash = hashRun(tel, res)
+	res.AlertEvents = uint64(len(mon.Events()))
+	res.AlertFlaps = mon.Flaps()
+	res.Hash = hashRun(tel, mon, res)
 	return res, nil
 }
 
@@ -341,16 +373,19 @@ func (p *floorProbe) take() string {
 }
 
 // hashRun computes an FNV-1a 64 digest over the run's full observable
-// state: the byte-stable telemetry JSONL dump, the conservation
-// counters, and every violation string. Two runs of the same scenario
-// must produce the same digest — checked by RunChecked.
-func hashRun(tel *telemetry.Collector, res *Result) uint64 {
+// state: the byte-stable telemetry JSONL dump, the alert event stream,
+// the conservation counters, and every violation string. Two runs of
+// the same scenario must produce the same digest — checked by
+// RunChecked.
+func hashRun(tel *telemetry.Collector, mon *alert.Monitor, res *Result) uint64 {
 	h := fnv.New64a()
 	_ = tel.WriteJSONL(h)
-	fmt.Fprintf(h, "est=%d closed=%d open=%d busy=%d intr=%d attr=%d policed=%d crashes=%d restarts=%d completed=%d\n",
+	_ = mon.WriteJSONL(h)
+	fmt.Fprintf(h, "est=%d closed=%d open=%d busy=%d intr=%d attr=%d policed=%d crashes=%d restarts=%d completed=%d alerts=%d flaps=%d\n",
 		res.Established, res.Closed, res.Open,
 		int64(res.BusyTime), int64(res.InterruptTime), int64(res.AttributedCPU),
-		res.PolicedDrops, res.Crashes, res.Restarts, res.Completed)
+		res.PolicedDrops, res.Crashes, res.Restarts, res.Completed,
+		res.AlertEvents, res.AlertFlaps)
 	// Violations are hashed in sorted order: a couple of kernel-internal
 	// collections are maps, so when one bad tick trips several queue
 	// checks at once their relative order is not guaranteed, and the

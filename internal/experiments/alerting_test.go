@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"rescon/internal/kernel"
+	"rescon/internal/sim"
+)
+
+// TestAlertingWatchdogBuysGoodput asserts the operational claims of the
+// alert subsystem on every kernel mode: the critical overload alert
+// fires before the goodput knee (detection leads collapse), and the
+// closed-loop watchdog arm sustains strictly higher goodput under the
+// flood than the detection-only arm (reaction buys goodput back).
+func TestAlertingWatchdogBuysGoodput(t *testing.T) {
+	res, err := Alerting(Options{Seed: 7, Warmup: sim.Second, Window: 2 * sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []kernel.Mode{kernel.ModeUnmodified, kernel.ModeLRP, kernel.ModeRC} {
+		off, on := res.Row(mode, false), res.Row(mode, true)
+		if off.SteadyGoodput <= 0 {
+			t.Errorf("%v: no steady-state goodput before the attack", mode)
+		}
+		if on.FloodGoodput <= off.FloodGoodput {
+			t.Errorf("%v: watchdog-on goodput %.1f req/s not strictly above watchdog-off %.1f req/s",
+				mode, on.FloodGoodput, off.FloodGoodput)
+		}
+		if off.Knee < 0 {
+			t.Errorf("%v: flood at %v SYN/s produced no goodput knee in the watchdog-off arm", mode, AlertingFloodRate)
+		}
+		for _, arm := range []AlertingRow{off, on} {
+			if arm.FirstCritical < 0 {
+				t.Errorf("%v watchdog=%t: no critical alert fired after attack onset", mode, arm.Watchdog)
+				continue
+			}
+			if arm.Knee >= 0 && arm.FirstCritical >= arm.Knee {
+				t.Errorf("%v watchdog=%t: first critical at %v, not before the goodput knee at %v",
+					mode, arm.Watchdog, arm.FirstCritical, arm.Knee)
+			}
+			if arm.Flaps != 0 {
+				t.Errorf("%v watchdog=%t: alert stream flapped %d time(s)", mode, arm.Watchdog, arm.Flaps)
+			}
+		}
+		if on.Engagements == 0 {
+			t.Errorf("%v: watchdog never engaged under the flood", mode)
+		}
+	}
+}

@@ -76,6 +76,13 @@ func TestSweepDriversDeterministicAcrossParallelism(t *testing.T) {
 		{"tail", func(t *testing.T, opt Options) string {
 			return TailLatency(opt).String()
 		}},
+		{"alerting", func(t *testing.T, opt Options) string {
+			res, err := Alerting(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Table().String()
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc

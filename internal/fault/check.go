@@ -101,8 +101,32 @@ type namedCheck struct {
 // invariant holds and a violation description otherwise; the name
 // prefixes the recorded violation so consumers (e.g. the chaos harness's
 // shrinker) can classify failures. Checks run in registration order.
-func (ch *Checker) WatchCheck(name string, fn func() string) {
+// A duplicate name is rejected with an error — silently overwriting (or
+// shadowing) an existing invariant would make the earlier registration
+// unreportable, which is exactly the failure mode a checker exists to
+// prevent.
+func (ch *Checker) WatchCheck(name string, fn func() string) error {
+	if name == "" {
+		return fmt.Errorf("fault: WatchCheck with empty name")
+	}
+	if fn == nil {
+		return fmt.Errorf("fault: WatchCheck %q with nil function", name)
+	}
+	for _, nc := range ch.checkSrcs {
+		if nc.name == name {
+			return fmt.Errorf("fault: duplicate check name %q", name)
+		}
+	}
 	ch.checkSrcs = append(ch.checkSrcs, namedCheck{name: name, fn: fn})
+	return nil
+}
+
+// MustWatchCheck is WatchCheck that panics on error, for call sites
+// whose names are unique by construction.
+func (ch *Checker) MustWatchCheck(name string, fn func() string) {
+	if err := ch.WatchCheck(name, fn); err != nil {
+		panic(err)
+	}
 }
 
 // Start checks periodically until Stop. A period of 0 defaults to 10 ms

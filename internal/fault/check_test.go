@@ -191,3 +191,45 @@ func TestCrasherRequiresMTBF(t *testing.T) {
 		t.Fatal("zero MTBF returned a non-nil Crasher")
 	}
 }
+
+func TestWatchCheckRejectsDuplicateName(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ch := NewChecker(eng)
+	ok := func() string { return "" }
+	if err := ch.WatchCheck("conn-conservation", ok); err != nil {
+		t.Fatal(err)
+	}
+	err := ch.WatchCheck("conn-conservation", func() string { return "impostor" })
+	if err == nil {
+		t.Fatal("duplicate check name accepted")
+	}
+	if !strings.Contains(err.Error(), "conn-conservation") {
+		t.Fatalf("error does not name the duplicate: %v", err)
+	}
+	// The original registration must survive: a check run reports no
+	// violations, proving the impostor was rejected rather than the
+	// original overwritten.
+	ch.FailFast = false
+	ch.Check()
+	if v := ch.Violations(); len(v) != 0 {
+		t.Fatalf("duplicate registration replaced the original check: %v", v)
+	}
+	if err := ch.WatchCheck("", ok); err == nil {
+		t.Error("empty check name accepted")
+	}
+	if err := ch.WatchCheck("nil-fn", nil); err == nil {
+		t.Error("nil check function accepted")
+	}
+}
+
+func TestMustWatchCheckPanicsOnDuplicate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	ch := NewChecker(eng)
+	ch.MustWatchCheck("once", func() string { return "" })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustWatchCheck did not panic on duplicate name")
+		}
+	}()
+	ch.MustWatchCheck("once", func() string { return "" })
+}

@@ -68,7 +68,7 @@ func (k *Kernel) WatchInvariants(ch *fault.Checker) {
 		}
 		return out
 	})
-	ch.WatchCheck("conn-conservation", func() string {
+	ch.MustWatchCheck("conn-conservation", func() string {
 		est, closed, open := k.net.established, k.net.closed, uint64(len(k.net.conns))
 		if est != closed+open {
 			return fmt.Sprintf("established %d != closed %d + open %d", est, closed, open)

@@ -129,6 +129,14 @@ const DefaultSYNPoliceFrac = 1.0 / 16
 // for the cost of the packet filter alone. SYNs (new work) and data/FIN
 // (in-progress work) have separate thresholds, so overload sheds new
 // connections while letting accepted ones finish.
+//
+// ModeUnmodified has no per-process protocol backlog to key on, so there
+// the policy degrades to an emergency interrupt-level SYN throttle: once
+// a listener's embryonic queue holds more than SYNFrac× its capacity,
+// further SYNs are refused for the cost of the interrupt alone instead
+// of the full protocol processing — the classic receive-livelock
+// mitigation (drop early, before investing work). It is off by default
+// and exists as the alert.Watchdog's lever on the unmodified kernel.
 type Policing struct {
 	Enabled bool
 	// SYNFrac is the backlog fraction beyond which connection requests
@@ -219,6 +227,13 @@ func (k *Kernel) Costs() CostModel { return k.costs }
 
 // Scheduler returns the active CPU scheduler.
 func (k *Kernel) Scheduler() sched.Scheduler { return k.sch }
+
+// RunQueueDepth returns the scheduler's current runnable-entity count —
+// the machine's run-queue depth.
+func (k *Kernel) RunQueueDepth() int { return k.sch.RunnableCount() }
+
+// Processes returns the kernel's live processes in creation order.
+func (k *Kernel) Processes() []*Process { return k.procs }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() sim.Time { return k.eng.Now() }
@@ -321,6 +336,25 @@ func (p *Process) Fork(name string) (*Process, error) {
 
 // Name returns the process name.
 func (p *Process) Name() string { return p.name }
+
+// NetBacklog returns the process's pending-protocol queue depth (packets
+// admitted at demultiplexing but not yet through protocol processing);
+// zero in ModeUnmodified, where no such queue exists.
+func (p *Process) NetBacklog() int {
+	if p.netQ == nil {
+		return 0
+	}
+	return p.netQ.Len()
+}
+
+// NetBacklogBound returns the per-container bound of the process's
+// pending-protocol queue, or zero in ModeUnmodified.
+func (p *Process) NetBacklogBound() int {
+	if p.netQ == nil {
+		return 0
+	}
+	return p.netQ.backlog
+}
 
 // CPUTime returns the CPU actually consumed by the process's threads
 // (excluding interrupt-level work, which belongs to no process).

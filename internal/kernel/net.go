@@ -142,6 +142,21 @@ func (p *Process) ensureNetThread() {
 	}
 }
 
+// ListenSockets returns every listening socket ever bound on the
+// kernel, in creation order (the same order telemetry samples them).
+// Closed sockets remain in the list so cumulative counters (SynDrops)
+// stay observable; filter with Closed as needed.
+func (k *Kernel) ListenSockets() []*ListenSocket { return k.net.socks }
+
+// Addr returns the socket's local endpoint.
+func (ls *ListenSocket) Addr() netsim.Addr { return ls.cfg.Local }
+
+// AcceptCap returns the accept-queue capacity.
+func (ls *ListenSocket) AcceptCap() int { return ls.acceptQ.Cap() }
+
+// Closed reports whether the socket has been closed.
+func (ls *ListenSocket) Closed() bool { return ls.closed }
+
 // Container returns the socket's resource binding.
 func (ls *ListenSocket) Container() *rc.Container { return ls.container }
 
@@ -344,6 +359,18 @@ func (k *Kernel) Arrive(pkt *netsim.Packet) {
 	k.Tracer.Emitf(k.Now(), trace.KindPacket, "%s", pkt)
 	switch k.mode {
 	case ModeUnmodified:
+		if k.Police.Enabled && pkt.Kind == netsim.SYN {
+			// Emergency interrupt-level SYN throttle (see Policing): decide
+			// the SYN's fate for the cost of the interrupt alone; only
+			// admitted SYNs pay protocol processing.
+			k.cpu.RaiseInterrupt(&intrWork{
+				label:           "intr+throttle",
+				cost:            k.costs.Interrupt,
+				chargePreempted: true,
+				onDone:          func() { k.throttleSYN(pkt) },
+			})
+			return
+		}
 		// All protocol processing at interrupt level, FIFO, charged to
 		// the unlucky running principal.
 		k.cpu.RaiseInterrupt(&intrWork{
@@ -466,6 +493,49 @@ func (k *Kernel) earlyDemux(pkt *netsim.Packet) {
 		return
 	}
 	proc.netThread.Wake()
+}
+
+// throttleSYN is the unmodified kernel's emergency admission control
+// (Policing with no per-process backlog to key on): the SYN has paid
+// only the interrupt cost so far. When the listener's embryonic queue
+// already holds more than SYNFrac× its capacity the SYN is refused here
+// — shedding the flood for ~2µs/SYN instead of the ~107µs of protocol
+// work that causes receive livelock. Admitted SYNs pay the normal
+// protocol cost in a follow-on interrupt, so the admitted path costs
+// what the fast path does.
+func (k *Kernel) throttleSYN(pkt *netsim.Packet) {
+	_, cont, ls := k.route(pkt)
+	if ls == nil {
+		return // no matching socket: packet dropped silently, as always
+	}
+	frac := k.Police.SYNFrac
+	if frac <= 0 {
+		frac = DefaultSYNPoliceFrac
+	}
+	if frac < 1 {
+		limit := int(frac * float64(ls.synQ.Cap()))
+		if limit < 1 {
+			limit = 1
+		}
+		if ls.EmbryonicCount() >= limit {
+			k.emitPkt(trace.KindPolice, cont, pkt, "SYN throttled at interrupt level, embryonic over %d: %s", limit, pkt)
+			k.policedDrops++
+			if cont != nil {
+				cont.ChargeDrop()
+			}
+			ls.synDrops++
+			if ls.cfg.OnSynDrop != nil {
+				ls.cfg.OnSynDrop(pkt.Src)
+			}
+			return
+		}
+	}
+	k.cpu.RaiseInterrupt(&intrWork{
+		label:           "intr+proto",
+		cost:            k.protoCost(pkt),
+		chargePreempted: true,
+		onDone:          func() { k.protoProcess(pkt, ls) },
+	})
 }
 
 // policeDemux applies the admission-control policy at demultiplexing

@@ -84,4 +84,11 @@ func (k *Kernel) sampleTelemetry() {
 			Dispatches: k.tel.Dispatches(c.Name()),
 		})
 	}
+	k.tel.FireSampleHooks(now)
+}
+
+// WatchedContainers returns the containers registered with
+// WatchContainer, in registration order.
+func (k *Kernel) WatchedContainers() []*rc.Container {
+	return k.watched
 }

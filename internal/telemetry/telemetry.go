@@ -97,6 +97,10 @@ type Collector struct {
 	dispatches    map[string]uint64
 	totalDispatch uint64
 
+	// sampleHooks run after the kernel records a full round of timeline
+	// samples, in registration order; the alert layer subscribes here.
+	sampleHooks []func(at sim.Time)
+
 	// run identity, stamped into exporter headers.
 	seed int64
 	mode string
@@ -139,6 +143,29 @@ func (c *Collector) Interval() sim.Duration { return c.cfg.SampleInterval }
 // kernel mode) for exporter headers. The kernel calls it on attach.
 func (c *Collector) SetRun(seed int64, mode string) {
 	c.seed, c.mode = seed, mode
+}
+
+// AddSampleHook registers fn to run after every timeline sampling tick,
+// once the kernel has recorded the tick's full round of samples. Hooks
+// run in registration order on the simulation goroutine, so anything
+// they compute from kernel state is deterministic. The alert layer
+// (internal/alert) is the canonical subscriber.
+func (c *Collector) AddSampleHook(fn func(at sim.Time)) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.sampleHooks = append(c.sampleHooks, fn)
+}
+
+// FireSampleHooks runs the registered sample hooks; the kernel calls it
+// at the end of each sampling tick. Nil-safe.
+func (c *Collector) FireSampleHooks(at sim.Time) {
+	if c == nil {
+		return
+	}
+	for _, fn := range c.sampleHooks {
+		fn(at)
+	}
 }
 
 // ChargeStage attributes d of simulated CPU to (principal, stage) in the

@@ -13,6 +13,9 @@
 //   - Client / Population / Flooder — workload generators (§5.2)
 //   - Telemetry — structured tracing, usage timelines and the
 //     virtual-CPU profile (attach with WithTelemetry)
+//   - AlertMonitor / Watchdog — sockstat-style overload detection on the
+//     telemetry stream and the closed-loop reaction (attach with
+//     WithAlerts, or AttachAlerts + AttachWatchdog)
 //
 // # Quick start
 //
@@ -60,6 +63,7 @@ package rescon
 import (
 	"time"
 
+	"rescon/internal/alert"
 	"rescon/internal/chaos"
 	"rescon/internal/fault"
 	"rescon/internal/httpsim"
@@ -370,6 +374,55 @@ const (
 // WithTelemetry (at construction) or Kernel.AttachTelemetry (later).
 func NewTelemetry(cfg TelemetryConfig) *Telemetry { return telemetry.New(cfg) }
 
+// Alerting and the closed-loop overload watchdog (internal/alert). The
+// monitor consumes the telemetry sampling tick, so the kernel must have
+// a collector attached first (WithAlerts takes care of that).
+type (
+	// AlertMonitor evaluates a registered check battery on every
+	// telemetry sampling tick and publishes a deterministic,
+	// hysteresis-filtered event stream (JSONL via WriteJSONL).
+	AlertMonitor = alert.Monitor
+	// AlertConfig tunes the built-in check battery: disable built-ins by
+	// name, append extra checks.
+	AlertConfig = alert.Config
+	// AlertCheck is one pluggable detector: thresholds, hysteresis
+	// windows and an Observe callback.
+	AlertCheck = alert.Check
+	// AlertObservation is one (target, value) reading of a check.
+	AlertObservation = alert.Observation
+	// AlertEvent is one published alert-state transition.
+	AlertEvent = alert.Event
+	// AlertLevel is an alert severity (ok, warning, critical).
+	AlertLevel = alert.Level
+	// Watchdog is the closed loop on the alert stream: on critical
+	// overload it tightens kernel policing and clamps a runaway
+	// container, restoring with exponential backoff.
+	Watchdog = alert.Watchdog
+	// WatchdogConfig tunes the watchdog's triggers, emergency settings
+	// and restore backoff.
+	WatchdogConfig = alert.WatchdogConfig
+)
+
+// Alert severities.
+const (
+	AlertOk       = alert.LevelOk
+	AlertWarning  = alert.LevelWarning
+	AlertCritical = alert.LevelCritical
+)
+
+// AttachAlerts builds an AlertMonitor with the built-in check battery
+// over k and subscribes it to the telemetry sampling tick; see
+// alert.Attach. The kernel must already have a telemetry collector.
+func AttachAlerts(k *Kernel, cfg AlertConfig) (*AlertMonitor, error) {
+	return alert.Attach(k, cfg)
+}
+
+// AttachWatchdog wires the closed-loop watchdog to a monitor's event
+// stream; call after AttachAlerts, before running load.
+func AttachWatchdog(m *AlertMonitor, k *Kernel, cfg WatchdogConfig) *Watchdog {
+	return alert.AttachWatchdog(m, k, cfg)
+}
+
 // Sim bundles a discrete-event engine with a simulated kernel.
 type Sim struct {
 	Engine *Engine
@@ -377,15 +430,23 @@ type Sim struct {
 	// Telemetry is the attached collector, nil unless WithTelemetry was
 	// used (or a collector was attached to the kernel afterwards).
 	Telemetry *Telemetry
+	// Alerts is the attached alert monitor, nil unless WithAlerts or
+	// WithWatchdog was used.
+	Alerts *AlertMonitor
+	// Watchdog is the attached closed loop, nil unless WithWatchdog was
+	// used.
+	Watchdog *Watchdog
 }
 
 // SimOption customizes NewSim.
 type SimOption func(*simOptions)
 
 type simOptions struct {
-	costs CostModel
-	ncpus int
-	tel   *telemetry.Collector
+	costs  CostModel
+	ncpus  int
+	tel    *telemetry.Collector
+	alerts *alert.Config
+	wd     *alert.WatchdogConfig
 }
 
 // WithCosts replaces the default (paper-calibrated) cost model.
@@ -407,6 +468,24 @@ func WithTelemetry(cfg TelemetryConfig) SimOption {
 	return func(o *simOptions) { o.tel = telemetry.New(cfg) }
 }
 
+// WithAlerts attaches the built-in alert battery on the telemetry
+// sampling tick; the monitor is reachable as Sim.Alerts. A telemetry
+// collector is attached implicitly (with default sizing) if WithTelemetry
+// is not also given. NewSim panics if cfg is invalid — an Extra check
+// reusing a registered name — since that is a programming error, not a
+// runtime condition.
+func WithAlerts(cfg AlertConfig) SimOption {
+	return func(o *simOptions) { o.alerts = &cfg }
+}
+
+// WithWatchdog attaches the alert battery (as WithAlerts, with a default
+// AlertConfig unless WithAlerts is also given) plus the closed-loop
+// overload watchdog reacting to it; the loop is reachable as
+// Sim.Watchdog.
+func WithWatchdog(cfg WatchdogConfig) SimOption {
+	return func(o *simOptions) { o.wd = &cfg }
+}
+
 // NewSim creates a deterministic simulation in the given kernel mode,
 // customized by functional options: WithCosts, WithCPUs, WithTelemetry.
 func NewSim(mode Mode, seed int64, opts ...SimOption) *Sim {
@@ -417,9 +496,26 @@ func NewSim(mode Mode, seed int64, opts ...SimOption) *Sim {
 	eng := sim.NewEngine(seed)
 	k := kernel.NewSMP(eng, mode, o.costs, o.ncpus)
 	s := &Sim{Engine: eng, Kernel: k}
+	if o.tel == nil && (o.alerts != nil || o.wd != nil) {
+		o.tel = telemetry.New(telemetry.Config{})
+	}
 	if o.tel != nil {
 		k.AttachTelemetry(o.tel)
 		s.Telemetry = o.tel
+	}
+	if o.alerts != nil || o.wd != nil {
+		acfg := alert.Config{}
+		if o.alerts != nil {
+			acfg = *o.alerts
+		}
+		m, err := alert.Attach(k, acfg)
+		if err != nil {
+			panic("rescon: WithAlerts: " + err.Error())
+		}
+		s.Alerts = m
+		if o.wd != nil {
+			s.Watchdog = alert.AttachWatchdog(m, k, *o.wd)
+		}
 	}
 	return s
 }

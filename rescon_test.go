@@ -169,6 +169,45 @@ func TestModesDiffer(t *testing.T) {
 	}
 }
 
+func TestWithAlertsPublicAPI(t *testing.T) {
+	// WithWatchdog implies telemetry + alerts: the full stack from one
+	// option. Under a flood the facade must surface a critical alert and
+	// an engaged watchdog without touching any internal package.
+	s := NewSim(ModeUnmodified, 42, WithWatchdog(WatchdogConfig{}))
+	if s.Telemetry == nil || s.Alerts == nil || s.Watchdog == nil {
+		t.Fatal("WithWatchdog did not attach telemetry, alerts and the watchdog")
+	}
+	if _, err := NewServer(ServerConfig{
+		Kernel: s.Kernel, Name: "httpd",
+		Addr: Addr("10.0.0.1", 80), API: EventAPI,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	MustStartPopulation(8, ClientConfig{
+		Kernel: s.Kernel,
+		Src:    Addr("10.1.0.1", 1024),
+		Dst:    Addr("10.0.0.1", 80),
+	})
+	s.RunFor(100 * Millisecond)
+	if got := s.Alerts.Worst(); got != AlertOk {
+		t.Fatalf("quiet baseline at level %v, want %v", got, AlertOk)
+	}
+	StartFlood(s.Kernel, 20_000, Addr("66.0.0.1", 0).IP, 256, Addr("10.0.0.1", 80))
+	s.RunFor(300 * Millisecond)
+	if got := s.Alerts.Worst(); got != AlertCritical {
+		t.Fatalf("flood raised %v, want %v", got, AlertCritical)
+	}
+	if s.Watchdog.Engagements() == 0 {
+		t.Fatal("watchdog never engaged under flood")
+	}
+
+	// WithAlerts alone: monitor but no watchdog.
+	s2 := NewSim(ModeRC, 42, WithAlerts(AlertConfig{}))
+	if s2.Alerts == nil || s2.Watchdog != nil {
+		t.Fatal("WithAlerts should attach a monitor and no watchdog")
+	}
+}
+
 func TestFacadeConstructors(t *testing.T) {
 	costs := DefaultCosts()
 	if costs.PerRequestCost() <= 0 {

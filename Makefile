@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-baseline bench-check chaos-smoke chaos-nightly tier1 ci
+.PHONY: all build vet lint test race bench bench-baseline bench-check chaos-smoke chaos-nightly scale-smoke scale-full tier1 ci
 
 all: ci
 
@@ -54,6 +54,18 @@ chaos-smoke:
 CHAOS_NIGHTLY_SEED ?= 1
 chaos-nightly:
 	$(GO) run ./cmd/rcchaos -run 500 -seed $(CHAOS_NIGHTLY_SEED)
+
+# Datacenter-scale smoke: ramp each kernel mode to 100k concurrent
+# connections (quick axis) under the race detector. Verifies the
+# flyweight conn table, batched accept path and timing wheel end to end
+# on every push without paying for the 1M ramp.
+scale-smoke:
+	$(GO) run -race ./cmd/rcbench -exp scale -quick
+
+# The full sweep: 10k → 1M concurrent connections across all six
+# mode × policing configs (nightly alongside the chaos sweep).
+scale-full:
+	$(GO) run ./cmd/rcbench -exp scale
 
 tier1: build race
 

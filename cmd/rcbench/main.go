@@ -146,6 +146,18 @@ var runners = []runner{
 		printTable(res.Table())
 		return nil
 	}},
+	// scale is not part of -exp all: the full ramp reaches one million
+	// concurrent connections per cell and is meant to be invoked
+	// directly (rcbench -exp scale, or -exp scale -quick for the capped
+	// CI smoke).
+	{"scale", false, func(opt experiments.Options) error {
+		t, err := experiments.Scale(opt)
+		if err != nil {
+			return err
+		}
+		printTable(t)
+		return nil
+	}},
 	{"chaos", true, func(opt experiments.Options) error {
 		// Short windows (-quick) run fewer scenarios; each scenario runs
 		// under all three kernel modes with the determinism double-run.

@@ -257,6 +257,10 @@ func Run(sc Scenario) (*Result, error) {
 				Trickle: 50 * sim.Millisecond,
 				Hold:    2 * sim.Second,
 			})
+		case WorkParked:
+			if err := startParked(k, wi, w.Count); err != nil {
+				return nil, fmt.Errorf("chaos: workload %d (%s): %w", wi, w.Kind, err)
+			}
 		}
 	}
 
@@ -323,6 +327,91 @@ func Run(sc Scenario) (*Result, error) {
 	res.AlertFlaps = mon.Flaps()
 	res.Hash = hashRun(tel, mon, res)
 	return res, nil
+}
+
+// parkedNet is the source prefix of parked-connection ramps — disjoint
+// from ClientNet's per-population slices and the attack prefix, so
+// filters and per-source accounting never confuse a parked connection
+// with scenario traffic.
+var parkedNet = netsim.MustParseIP("10.2.0.0")
+
+// parkedWindow bounds the parked ramp's outstanding (injected but not
+// yet acknowledged) handshakes. Well under the listener's backlogs, so
+// a well-behaved ramp never converges by queue drops.
+const parkedWindow = 256
+
+// parkedRetry is how long the ramp waits for a SYN-ACK before resending
+// a connection's SYN — a lost handshake packet (wire faults, shed SYNs)
+// must free its window slot instead of wedging the ramp forever.
+const parkedRetry = 50 * sim.Millisecond
+
+// startParked ramps w.Count established-and-idle connections onto a
+// dedicated listen socket owned by its own process — the datacenter
+// topology of DESIGN.md §11: the flyweight connection table carries the
+// mass while the rest of the scenario's traffic fights over the CPU.
+// The ramp is closed-loop — new SYNs are injected only as earlier ones
+// are acknowledged — so it self-paces to whatever protocol-processing
+// rate the scenario leaves available; under floods, caps or crashes it
+// simply ramps less far, which is load, not a violation. Connections
+// are never closed: they stay live through the horizon and are counted
+// by the connection-conservation invariant as open.
+func startParked(k *kernel.Kernel, wi, count int) error {
+	p := k.NewProcess(fmt.Sprintf("parked%d", wi))
+	local := netsim.Addr{IP: experiments.ServerAddr.IP, Port: uint16(9000 + wi)}
+	ls, err := k.Listen(p, kernel.ListenConfig{
+		Local:         local,
+		SynBacklog:    1 << 12,
+		AcceptBacklog: 1 << 12,
+	})
+	if err != nil {
+		return err
+	}
+	eng := k.Engine()
+	buf := make([]*kernel.Conn, parkedWindow)
+	issued, acked := 0, 0
+	// connect sends the i-th connection's SYN and retries on silence. A
+	// retry after a lost SYN-ACK can establish a duplicate server-side
+	// connection for the same tuple; that is ordinary network behaviour
+	// and the conservation invariant counts both sides consistently.
+	var connect func(i int)
+	connect = func(i int) {
+		src := netsim.Addr{
+			IP:   parkedNet + netsim.IP(wi)<<8 + netsim.IP(i/60000),
+			Port: uint16(1024 + i%60000),
+		}
+		done := false
+		k.ClientSend(kernel.ConnectPacket(src, local, func(*kernel.Conn) {
+			if done {
+				return // duplicated SYN-ACK
+			}
+			done = true
+			acked++
+		}))
+		eng.After(parkedRetry, func() {
+			if !done {
+				connect(i)
+			}
+		})
+	}
+	eng.Every(2*sim.Millisecond, func() {
+		// Keep the accept queue drained; the parked process never reads
+		// from its connections, it just holds them open.
+		for ls.AcceptBatch(buf) != 0 {
+		}
+		outstanding := issued - acked
+		if issued >= count || outstanding >= parkedWindow {
+			return
+		}
+		batch := parkedWindow - outstanding
+		if rem := count - issued; rem < batch {
+			batch = rem
+		}
+		for j := 0; j < batch; j++ {
+			connect(issued)
+			issued++
+		}
+	})
+	return nil
 }
 
 // hasWorkload reports whether the scenario contains a workload of kind.

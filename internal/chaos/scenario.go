@@ -56,6 +56,11 @@ const (
 	// WorkDisk is a population of uncached clients whose every request
 	// misses the filesystem cache and hits the disk.
 	WorkDisk = "disk"
+	// WorkParked is a mass of established-and-idle connections ramped
+	// onto a dedicated listen socket — the datacenter topology of
+	// DESIGN.md §11, where the connection table carries 100k+ live
+	// entries while the scenario's other traffic fights over the CPU.
+	WorkParked = "parked"
 )
 
 // WorkloadSpec describes one traffic source. Fields beyond Kind apply
@@ -134,7 +139,7 @@ func (sc Scenario) Validate() error {
 	}
 	for i, w := range sc.Workloads {
 		switch w.Kind {
-		case WorkClients, WorkCGI, WorkFlood, WorkLoris, WorkDisk:
+		case WorkClients, WorkCGI, WorkFlood, WorkLoris, WorkDisk, WorkParked:
 		default:
 			return fmt.Errorf("chaos: workload %d has unknown kind %q", i, w.Kind)
 		}
@@ -176,6 +181,18 @@ func Generate(seed uint64) Scenario {
 	}
 	sc.Containers = genContainers(top.Fork(labelTopo))
 	sc.Workloads = genWorkloads(top.Fork(labelLoad))
+	// A parked-connection ramp is rate-bound by SYN protocol processing
+	// (~107 µs per handshake on one kernel thread), so a seed that drew a
+	// 100k+ topology gets the virtual time for the ramp to actually
+	// reach its count when the machine cooperates. The stretch is a pure
+	// function of the drawn workloads, so determinism is unaffected.
+	for _, w := range sc.Workloads {
+		if w.Kind == WorkParked {
+			if need := sim.Duration(w.Count) * parkedRampBudget; sc.Horizon < need {
+				sc.Horizon = need
+			}
+		}
+	}
 	rf := top.Fork(labelFault)
 	if rf.Float64() < 0.5 {
 		sc.Faults = genFaults(rf)
@@ -236,25 +253,35 @@ func genContainers(r *sim.RNG) []ContainerSpec {
 	return specs
 }
 
+// parkedRampBudget is the virtual time granted per parked connection:
+// comfortably above the ~107 µs SYN handshake cost, so an uncontended
+// ramp finishes inside the stretched horizon with slack for the
+// scenario's other load.
+const parkedRampBudget = 130 * sim.Microsecond
+
 // genWorkloads draws 1..4 traffic sources with a mix biased toward
-// well-behaved clients but regularly including every attacker class.
+// well-behaved clients but regularly including every attacker class and,
+// occasionally, a datacenter-scale parked-connection topology (20k–150k
+// established connections riding on the flyweight conn table).
 func genWorkloads(r *sim.RNG) []WorkloadSpec {
 	n := 1 + r.Intn(4)
 	out := make([]WorkloadSpec, 0, n)
 	for i := 0; i < n; i++ {
 		var w WorkloadSpec
 		switch p := r.Float64(); {
-		case p < 0.35:
+		case p < 0.33:
 			w = WorkloadSpec{Kind: WorkClients, Count: 4 + r.Intn(29), Think: r.Uniform(0, 5*sim.Millisecond)}
 			if r.Float64() < 0.3 {
 				w.AbortRate = 0.02 + 0.18*r.Float64()
 			}
-		case p < 0.50:
+		case p < 0.47:
 			w = WorkloadSpec{Kind: WorkCGI, Count: 2 + r.Intn(7), CGICPU: sim.Millisecond + r.Uniform(0, 19*sim.Millisecond)}
-		case p < 0.65:
+		case p < 0.61:
 			w = WorkloadSpec{Kind: WorkFlood, Rate: 500 + 19500*r.Float64()}
-		case p < 0.80:
+		case p < 0.75:
 			w = WorkloadSpec{Kind: WorkLoris, Count: 16 + r.Intn(113)}
+		case p < 0.82:
+			w = WorkloadSpec{Kind: WorkParked, Count: 20_000 + r.Intn(130_001)}
 		default:
 			w = WorkloadSpec{Kind: WorkDisk, Count: 2 + r.Intn(15)}
 		}

@@ -1,0 +1,164 @@
+package kernel
+
+// Flyweight connection state: at datacenter scale (§1M concurrent
+// connections) a map[uint64]*Conn with one heap allocation per
+// connection dominates the SYN/FIN hot path. The connTable replaces it
+// with slab-allocated Conn storage addressed by dense uint32 handles and
+// a paged id→handle index, so establishing and tearing down a connection
+// performs no per-connection heap allocation in steady state (one slab
+// per connSlabSize conns, one index page per connPageSize ids) and a
+// data-packet route is two array indexations instead of a map probe.
+//
+// Safety rules the layout depends on:
+//
+//   - Slots are never reused within a slab's lifetime: a slab's storage
+//     is reclaimed only once every slot has been handed out AND every
+//     connection in it has closed. Stale *Conn pointers held by the
+//     application (which checks Conn.Closed) therefore keep only the old
+//     slab array alive — they can never alias a newer connection.
+//   - Connection ids are never reused, so the id index is written once
+//     per id and zeroed on close; a freed index page can never receive a
+//     future id (pages are freed only once id allocation has moved past
+//     them).
+
+const (
+	// connSlabSize is the number of Conn structs per slab.
+	connSlabSize = 1024
+	// connPageSize is the number of connection ids per index page.
+	connPageSize = 4096
+)
+
+// connSlab is one arena block of connection state.
+type connSlab struct {
+	conns [connSlabSize]Conn
+	used  int // slots handed out; never decremented (no slot reuse)
+	live  int // slots holding a not-yet-closed connection
+}
+
+// idPage is one block of the id→handle index.
+type idPage struct {
+	handles [connPageSize]uint32 // 0 = no such connection
+	live    int
+}
+
+// connTable stores every established connection.
+type connTable struct {
+	slabs []*connSlab
+	// open is the slab currently being filled (-1 before the first
+	// allocation); freed slab indices are recycled via freeSlabs with a
+	// fresh backing array each time.
+	open      int
+	freeSlabs []int
+	pages     []*idPage
+	live      int
+}
+
+func newConnTable() *connTable { return &connTable{open: -1} }
+
+// alloc hands out a fresh Conn slot and its handle. The Conn is zeroed;
+// the caller fills it in and then registers it with insert.
+func (t *connTable) alloc() (*Conn, uint32) {
+	if t.open < 0 || t.slabs[t.open] == nil || t.slabs[t.open].used == connSlabSize {
+		if n := len(t.freeSlabs); n > 0 {
+			t.open = t.freeSlabs[n-1]
+			t.freeSlabs = t.freeSlabs[:n-1]
+			t.slabs[t.open] = &connSlab{}
+		} else {
+			t.open = len(t.slabs)
+			t.slabs = append(t.slabs, &connSlab{})
+		}
+	}
+	s := t.slabs[t.open]
+	slot := s.used
+	s.used++
+	s.live++
+	return &s.conns[slot], uint32(t.open*connSlabSize+slot) + 1
+}
+
+// conn resolves a non-zero handle to its Conn.
+func (t *connTable) conn(h uint32) *Conn {
+	h--
+	return &t.slabs[h/connSlabSize].conns[h%connSlabSize]
+}
+
+// insert registers the id→handle mapping for a just-established
+// connection.
+func (t *connTable) insert(id uint64, h uint32) {
+	pi := int(id / connPageSize)
+	for len(t.pages) <= pi {
+		t.pages = append(t.pages, nil)
+	}
+	p := t.pages[pi]
+	if p == nil {
+		p = &idPage{}
+		t.pages[pi] = p
+	}
+	p.handles[id%connPageSize] = h
+	p.live++
+	t.live++
+}
+
+// lookup returns the connection with the given id, or nil.
+func (t *connTable) lookup(id uint64) *Conn {
+	pi := int(id / connPageSize)
+	if pi >= len(t.pages) {
+		return nil
+	}
+	p := t.pages[pi]
+	if p == nil {
+		return nil
+	}
+	h := p.handles[id%connPageSize]
+	if h == 0 {
+		return nil
+	}
+	return t.conn(h)
+}
+
+// remove drops a closed connection from the table. lastID is the most
+// recently issued connection id: an index page is reclaimed only when no
+// future id can land in it.
+func (t *connTable) remove(id, lastID uint64) {
+	pi := int(id / connPageSize)
+	if pi >= len(t.pages) || t.pages[pi] == nil {
+		return
+	}
+	p := t.pages[pi]
+	off := id % connPageSize
+	h := p.handles[off]
+	if h == 0 {
+		return
+	}
+	p.handles[off] = 0
+	p.live--
+	t.live--
+	if p.live == 0 && pi < int((lastID+1)/connPageSize) {
+		t.pages[pi] = nil
+	}
+	si := int(h-1) / connSlabSize
+	s := t.slabs[si]
+	s.live--
+	if s.live == 0 && s.used == connSlabSize {
+		// Fully retired slab: recycle the index with a fresh array. Stale
+		// application pointers keep the old array alive on their own.
+		t.slabs[si] = nil
+		t.freeSlabs = append(t.freeSlabs, si)
+		if t.open == si {
+			t.open = -1
+		}
+	}
+}
+
+// each visits every open connection in ascending id order.
+func (t *connTable) each(f func(*Conn)) {
+	for _, p := range t.pages {
+		if p == nil || p.live == 0 {
+			continue
+		}
+		for i := 0; i < connPageSize; i++ {
+			if h := p.handles[i]; h != 0 {
+				f(t.conn(h))
+			}
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package kernel
+
+import (
+	"testing"
+)
+
+// fillConns allocates n connections with sequential ids starting at
+// firstID and returns their pointers.
+func fillConns(t *connTable, firstID uint64, n int) []*Conn {
+	out := make([]*Conn, n)
+	for i := 0; i < n; i++ {
+		c, h := t.alloc()
+		c.id = firstID + uint64(i)
+		t.insert(c.id, h)
+		out[i] = c
+	}
+	return out
+}
+
+func TestConnTableLookup(t *testing.T) {
+	ct := newConnTable()
+	conns := fillConns(ct, 1, 3*connSlabSize)
+	if ct.live != 3*connSlabSize {
+		t.Fatalf("live %d, want %d", ct.live, 3*connSlabSize)
+	}
+	for i, c := range conns {
+		got := ct.lookup(uint64(i + 1))
+		if got != c {
+			t.Fatalf("lookup(%d) = %p, want %p", i+1, got, c)
+		}
+	}
+	if ct.lookup(uint64(3*connSlabSize+1)) != nil {
+		t.Fatal("lookup past the last id should return nil")
+	}
+	if ct.lookup(1<<40) != nil {
+		t.Fatal("lookup far past the index should return nil")
+	}
+}
+
+func TestConnTableRemove(t *testing.T) {
+	ct := newConnTable()
+	conns := fillConns(ct, 1, 10)
+	last := uint64(10)
+	ct.remove(5, last)
+	if ct.lookup(5) != nil {
+		t.Fatal("removed id still resolves")
+	}
+	if ct.live != 9 {
+		t.Fatalf("live %d, want 9", ct.live)
+	}
+	// Double remove is a no-op.
+	ct.remove(5, last)
+	if ct.live != 9 {
+		t.Fatalf("live %d after double remove, want 9", ct.live)
+	}
+	// Other conns are untouched.
+	if ct.lookup(4) != conns[3] || ct.lookup(6) != conns[5] {
+		t.Fatal("neighbors of a removed id were disturbed")
+	}
+}
+
+func TestConnTableSlabRecycled(t *testing.T) {
+	ct := newConnTable()
+	fillConns(ct, 1, connSlabSize) // fills slab 0 exactly
+	old := ct.slabs[0]
+	for id := uint64(1); id <= connSlabSize; id++ {
+		ct.remove(id, connSlabSize)
+	}
+	if ct.slabs[0] != nil {
+		t.Fatal("fully retired slab not released")
+	}
+	if len(ct.freeSlabs) != 1 || ct.freeSlabs[0] != 0 {
+		t.Fatalf("freeSlabs %v, want [0]", ct.freeSlabs)
+	}
+	// The next allocation reuses index 0 with a FRESH array: stale
+	// pointers into the old slab must never alias a new connection.
+	c, h := ct.alloc()
+	if len(ct.slabs) != 1 {
+		t.Fatalf("%d slabs after recycle, want 1", len(ct.slabs))
+	}
+	if ct.slabs[0] == old {
+		t.Fatal("recycled slab reused the old backing array")
+	}
+	if got := ct.conn(h); got != c {
+		t.Fatalf("handle resolves to %p, want %p", got, c)
+	}
+	// The stale pointer still reads its own (old) memory.
+	if &old.conns[0] == c {
+		t.Fatal("new conn aliases a stale pointer")
+	}
+}
+
+func TestConnTablePartialSlabNotRecycled(t *testing.T) {
+	ct := newConnTable()
+	fillConns(ct, 1, 10) // slab 0 partially used
+	for id := uint64(1); id <= 10; id++ {
+		ct.remove(id, 10)
+	}
+	if ct.slabs[0] == nil {
+		t.Fatal("partially used slab must not be released (slots are never reused)")
+	}
+	// Continuing allocation fills the remaining slots of the same slab.
+	c, _ := ct.alloc()
+	if c != &ct.slabs[0].conns[10] {
+		t.Fatal("allocation after removes must continue at the next unused slot")
+	}
+}
+
+func TestConnTableIndexPageFreed(t *testing.T) {
+	ct := newConnTable()
+	fillConns(ct, 1, 2*connPageSize)
+	lastID := uint64(2 * connPageSize)
+	// Page 0 covers ids [0, connPageSize); closing them all frees it,
+	// because id allocation has moved past the page.
+	for id := uint64(1); id < connPageSize; id++ {
+		ct.remove(id, lastID)
+	}
+	if ct.pages[0] != nil {
+		t.Fatal("fully dead index page behind the id cursor not freed")
+	}
+	// The live page keeps resolving.
+	if ct.lookup(connPageSize+1) == nil {
+		t.Fatal("live id lost after freeing a dead page")
+	}
+	// The current page is kept even when momentarily empty: future ids
+	// still land in it.
+	ct2 := newConnTable()
+	fillConns(ct2, 1, 10)
+	for id := uint64(1); id <= 10; id++ {
+		ct2.remove(id, 10)
+	}
+	if ct2.pages[0] == nil {
+		t.Fatal("current index page freed while future ids can land in it")
+	}
+	fillConns(ct2, 11, 5)
+	if ct2.lookup(12) == nil {
+		t.Fatal("id issued after page drain does not resolve")
+	}
+}
+
+func TestConnTableEachAscendingID(t *testing.T) {
+	ct := newConnTable()
+	fillConns(ct, 1, connPageSize+100) // spans two pages
+	ct.remove(3, connPageSize+100)
+	ct.remove(connPageSize+5, connPageSize+100)
+	var ids []uint64
+	ct.each(func(c *Conn) { ids = append(ids, c.id) })
+	if len(ids) != connPageSize+98 {
+		t.Fatalf("each visited %d conns, want %d", len(ids), connPageSize+98)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("each out of order: ids[%d]=%d after %d", i, ids[i], ids[i-1])
+		}
+	}
+}
+
+// The connection hot path must not allocate per connection: with a
+// million connections parked, an establish/teardown churn cycle reuses
+// slab and index storage entirely (one slab per connSlabSize conns and
+// one page per connPageSize ids amortize to ~0).
+func TestConnCycleNoAllocs(t *testing.T) {
+	ct := newConnTable()
+	fillConns(ct, 1, 100_000)
+	nextID := uint64(100_000)
+	allocs := testing.AllocsPerRun(10_000, func() {
+		nextID++
+		c, h := ct.alloc()
+		c.id = nextID
+		ct.insert(c.id, h)
+		if ct.lookup(c.id) != c {
+			t.Fatal("lookup miss")
+		}
+		ct.remove(c.id, nextID)
+	})
+	// One slab per connSlabSize cycles and one page per connPageSize ids
+	// amortize below 0.5 objects/op; a per-conn allocation would be ≥1.
+	if allocs >= 0.5 {
+		t.Fatalf("conn cycle allocates %.2f objects/op, want ~0", allocs)
+	}
+}
+
+// BenchmarkConnCycle measures the flyweight connection hot path with a
+// large standing population: allocate, index, resolve and retire one
+// connection. Guarded by benchjson as a pinned hot path.
+func BenchmarkConnCycle100kOpen(b *testing.B) {
+	ct := newConnTable()
+	fillConns(ct, 1, 100_000)
+	nextID := uint64(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nextID++
+		c, h := ct.alloc()
+		c.id = nextID
+		ct.insert(c.id, h)
+		if ct.lookup(c.id) != c {
+			b.Fatal("lookup miss")
+		}
+		ct.remove(c.id, nextID)
+	}
+}

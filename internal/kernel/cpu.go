@@ -34,6 +34,10 @@ type running struct {
 	item    *WorkItem
 	started sim.Time
 	ev      sim.Event
+	// mig is the cache-affinity migration penalty prepended to this
+	// slice (per-CPU scheduling): charged like slice time, but it makes
+	// no progress on the item's cost.
+	mig sim.Duration
 }
 
 // CPU models one processor: one thread slice at a time, preempted (on
@@ -104,7 +108,12 @@ func (c *CPU) preemptCurrent() {
 	r.ev.Cancel()
 	if elapsed > 0 {
 		c.chargeSlice(r.th, r.item, elapsed, now)
-		r.item.Cost -= elapsed
+		// Only time past the migration penalty advanced the item.
+		progress := elapsed - r.mig
+		if progress < 0 {
+			progress = 0
+		}
+		r.item.Cost -= progress
 	}
 	// The item stays as the thread's current work and resumes later.
 }
@@ -204,7 +213,7 @@ func (c *CPU) dispatch() {
 		}
 	}()
 	for {
-		e := c.k.sch.Pick(now)
+		e := c.pick(now)
 		if e == nil {
 			if next, ok := c.k.sch.NextRelease(now); ok {
 				c.scheduleRetry(next)
@@ -235,6 +244,15 @@ func (c *CPU) dispatch() {
 		c.start(th, now)
 		return
 	}
+}
+
+// pick selects the next entity for this CPU: the per-CPU scheduler when
+// sharded run queues are enabled, else the shared global Pick.
+func (c *CPU) pick(now sim.Time) *sched.Entity {
+	if c.k.perCPU != nil {
+		return c.k.perCPU.PickFor(c.id, now)
+	}
+	return c.k.sch.Pick(now)
 }
 
 // start begins a slice of the thread's current item.
@@ -271,10 +289,17 @@ func (c *CPU) start(th *Thread, now sim.Time) {
 			Principal: telPrincipal(th, item), Cost: slice, Detail: item.Label,
 		})
 	}
+	var mig sim.Duration
+	if c.k.perCPU != nil {
+		if last := th.ent.LastCPU(); last >= 0 && last != c.id {
+			mig = c.k.costs.Migration
+		}
+		th.ent.NoteRanOn(c.id)
+	}
 	th.ent.SetOnCPU(true)
-	r := &running{th: th, item: item, started: now}
+	r := &running{th: th, item: item, started: now, mig: mig}
 	c.cur = r
-	r.ev = c.k.eng.After(slice, func() { c.completeSlice(r, slice) })
+	r.ev = c.k.eng.After(mig+slice, func() { c.completeSlice(r, slice) })
 }
 
 // completeSlice finishes a slice: accounting, completion callback, next
@@ -283,7 +308,9 @@ func (c *CPU) completeSlice(r *running, slice sim.Duration) {
 	now := c.k.Now()
 	c.cur = nil
 	r.th.ent.SetOnCPU(false)
-	c.chargeSlice(r.th, r.item, slice, now)
+	// The migration penalty burns CPU (and is charged) but makes no
+	// progress on the item itself — cold caches, not useful work.
+	c.chargeSlice(r.th, r.item, slice+r.mig, now)
 	r.item.Cost -= slice
 	var done func()
 	if r.item.Cost <= 0 {

@@ -69,7 +69,7 @@ func (k *Kernel) WatchInvariants(ch *fault.Checker) {
 		return out
 	})
 	ch.MustWatchCheck("conn-conservation", func() string {
-		est, closed, open := k.net.established, k.net.closed, uint64(len(k.net.conns))
+		est, closed, open := k.net.established, k.net.closed, uint64(k.net.conns.live)
 		if est != closed+open {
 			return fmt.Sprintf("established %d != closed %d + open %d", est, closed, open)
 		}

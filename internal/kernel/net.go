@@ -3,7 +3,6 @@ package kernel
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"rescon/internal/netsim"
 	"rescon/internal/rc"
@@ -39,19 +38,19 @@ var ErrProcessExited = errors.New("kernel: process has exited")
 type network struct {
 	k      *Kernel
 	demux  netsim.Demux
-	conns  map[uint64]*Conn
+	conns  *connTable
 	socks  []*ListenSocket // creation order, for telemetry sampling
 	nextID uint64
 	// established and closed count connection lifecycle transitions for
 	// the conservation invariant: every connection ever established is
 	// either still open or has been closed exactly once, so
-	// established == closed + len(conns) at all times.
+	// established == closed + open at all times.
 	established uint64
 	closed      uint64
 }
 
 func newNetwork(k *Kernel) *network {
-	return &network{k: k, conns: make(map[uint64]*Conn)}
+	return &network{k: k, conns: newConnTable()}
 }
 
 // ListenConfig configures a listening socket.
@@ -201,6 +200,16 @@ func (ls *ListenSocket) Accept() (*Conn, bool) {
 	return c, ok
 }
 
+// AcceptBatch pops up to len(dst) established connections from the
+// accept queue into dst and returns how many it delivered — batched
+// event delivery for servers draining a deep accept backlog in one
+// syscall's worth of bookkeeping.
+func (ls *ListenSocket) AcceptBatch(dst []*Conn) int {
+	n := ls.acceptQ.PopInto(dst)
+	ls.accepted += uint64(n)
+	return n
+}
+
 // Close unbinds the socket.
 func (ls *ListenSocket) Close() {
 	if ls.closed {
@@ -293,7 +302,7 @@ func (c *Conn) Close() {
 	if c.memHolder != nil && !c.memHolder.Destroyed() {
 		_ = c.memHolder.ChargeMemory(-SocketBufferBytes)
 	}
-	delete(c.k.net.conns, c.id)
+	c.k.net.conns.remove(c.id, c.k.net.nextID)
 	c.k.net.closed++
 }
 
@@ -592,8 +601,8 @@ func (k *Kernel) route(pkt *netsim.Packet) (*Process, *rc.Container, *ListenSock
 		ls := l.Owner.(*ListenSocket)
 		return ls.proc, ls.container, ls
 	}
-	c, ok := k.net.conns[pkt.ConnID]
-	if !ok || c.closed {
+	c := k.net.conns.lookup(pkt.ConnID)
+	if c == nil || c.closed {
 		return nil, nil, nil
 	}
 	return c.proc, c.container, c.ls
@@ -615,8 +624,8 @@ func (k *Kernel) protoProcess(pkt *netsim.Packet, ls *ListenSocket) {
 		}
 		k.handleSYN(pkt, ls)
 	case netsim.Data:
-		c, ok := k.net.conns[pkt.ConnID]
-		if !ok || c.closed {
+		c := k.net.conns.lookup(pkt.ConnID)
+		if c == nil || c.closed {
 			return
 		}
 		if c.OnRequest != nil {
@@ -625,8 +634,8 @@ func (k *Kernel) protoProcess(pkt *netsim.Packet, ls *ListenSocket) {
 			c.pending = append(c.pending, pkt.Payload)
 		}
 	case netsim.FIN:
-		c, ok := k.net.conns[pkt.ConnID]
-		if !ok {
+		c := k.net.conns.lookup(pkt.ConnID)
+		if c == nil {
 			return
 		}
 		c.Close()
@@ -683,7 +692,8 @@ func (k *Kernel) handleSYN(pkt *netsim.Packet, ls *ListenSocket) {
 		memHolder = ls.container
 	}
 	k.net.nextID++
-	conn := &Conn{
+	conn, h := k.net.conns.alloc()
+	*conn = Conn{
 		k:         k,
 		id:        k.net.nextID,
 		fd:        int(k.net.nextID),
@@ -703,7 +713,7 @@ func (k *Kernel) handleSYN(pkt *netsim.Packet, ls *ListenSocket) {
 			Conn: conn.id, Detail: fmt.Sprintf("established from %s", pkt.Src),
 		})
 	}
-	k.net.conns[conn.id] = conn
+	k.net.conns.insert(conn.id, h)
 	k.net.established++
 	ls.acceptQ.Push(conn)
 	if ls.cfg.OnAcceptable != nil {
@@ -725,30 +735,27 @@ func (k *Kernel) ConnsEstablished() uint64 { return k.net.established }
 func (k *Kernel) ConnsClosed() uint64 { return k.net.closed }
 
 // OpenConns returns the number of currently established connections.
-func (k *Kernel) OpenConns() int { return len(k.net.conns) }
+func (k *Kernel) OpenConns() int { return k.net.conns.live }
 
 // LookupConn returns the connection with the given id, if established.
 func (k *Kernel) LookupConn(id uint64) (*Conn, bool) {
-	c, ok := k.net.conns[id]
-	return c, ok
+	c := k.net.conns.lookup(id)
+	return c, c != nil
 }
 
 // CloseConnsOf tears down every established connection owned by the
-// process — what the kernel does when a server worker crashes. Closing
-// happens in ascending connection-id order so crash recovery is
+// process — what the kernel does when a server worker crashes. The conn
+// table iterates in ascending connection-id order, so crash recovery is
 // deterministic.
 func (k *Kernel) CloseConnsOf(p *Process) {
-	ids := make([]uint64, 0, len(k.net.conns))
-	for id, c := range k.net.conns {
+	var victims []*Conn
+	k.net.conns.each(func(c *Conn) {
 		if c.proc == p {
-			ids = append(ids, id)
+			victims = append(victims, c)
 		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if c, ok := k.net.conns[id]; ok {
-			c.Close()
-		}
+	})
+	for _, c := range victims {
+		c.Close()
 	}
 }
 

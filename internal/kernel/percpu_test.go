@@ -1,0 +1,168 @@
+package kernel
+
+import (
+	"testing"
+
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+)
+
+func newPerCPUSMP(t *testing.T, mode Mode, ncpus int) (*sim.Engine, *Kernel) {
+	t.Helper()
+	eng, k := newSMP(mode, ncpus)
+	if !k.EnablePerCPUSched() {
+		t.Fatal("EnablePerCPUSched returned false")
+	}
+	if !k.PerCPUSched() {
+		t.Fatal("PerCPUSched false after enabling")
+	}
+	return eng, k
+}
+
+func TestPerCPUSchedParallelExecution(t *testing.T) {
+	// Even when both runnable entities are homed on the same run queue,
+	// the idle CPU steals: two 1-second jobs on 2 CPUs finish at t=1s.
+	eng, k := newPerCPUSMP(t, ModeUnmodified, 2)
+	pa := k.NewProcess("a")
+	pb := k.NewProcess("b")
+	var doneA, doneB sim.Time
+	pa.NewThread("t").PostFunc("wa", sim.Second, rc.UserCPU, nil, func() { doneA = eng.Now() })
+	pb.NewThread("t").PostFunc("wb", sim.Second, rc.UserCPU, nil, func() { doneB = eng.Now() })
+	eng.Run()
+	if doneA != sim.Time(sim.Second) || doneB != sim.Time(sim.Second) {
+		t.Fatalf("parallel jobs finished at %v and %v, want both at 1s", doneA, doneB)
+	}
+	if k.BusyTime() != 2*sim.Second {
+		t.Fatalf("total busy %v, want 2s", k.BusyTime())
+	}
+}
+
+func TestPerCPUSchedThreadNeverOnTwoCPUs(t *testing.T) {
+	eng, k := newPerCPUSMP(t, ModeUnmodified, 64)
+	p := k.NewProcess("a")
+	th := p.NewThread("t")
+	var done sim.Time
+	for i := 0; i < 10; i++ {
+		i := i
+		th.PostFunc("w", 100*sim.Millisecond, rc.UserCPU, nil, func() {
+			if i == 9 {
+				done = eng.Now()
+			}
+		})
+	}
+	eng.Run()
+	if done != sim.Time(sim.Second) {
+		t.Fatalf("single thread finished at %v, want fully serialized 1s", done)
+	}
+	if th.CPUTime() != sim.Second {
+		t.Fatalf("thread CPU %v", th.CPUTime())
+	}
+}
+
+// runPerCPUFleet runs nthreads equal jobs on ncpus with per-CPU
+// scheduling and returns (last finish time, per-CPU busy vector).
+func runPerCPUFleet(t *testing.T, ncpus, nthreads int, work sim.Duration) (sim.Time, []sim.Duration) {
+	eng, k := newPerCPUSMP(t, ModeUnmodified, ncpus)
+	var last sim.Time
+	for i := 0; i < nthreads; i++ {
+		p := k.NewProcess("p")
+		p.NewThread("t").PostFunc("w", work, rc.UserCPU, nil, func() {
+			if eng.Now() > last {
+				last = eng.Now()
+			}
+		})
+	}
+	eng.Run()
+	busy := make([]sim.Duration, ncpus)
+	for i, c := range k.cpus {
+		busy[i] = c.BusyTime()
+	}
+	return last, busy
+}
+
+func TestPerCPUSchedSpreadsAcross64CPUs(t *testing.T) {
+	// 128 equal jobs on 64 CPUs: stealing must spread the load so every
+	// processor does its 2 jobs' worth of work and the makespan is 2x one
+	// job, not a pile-up behind a few queues.
+	last, busy := runPerCPUFleet(t, 64, 128, 10*sim.Millisecond)
+	if last != sim.Time(20*sim.Millisecond) {
+		t.Fatalf("makespan %v, want 20ms", last)
+	}
+	for i, b := range busy {
+		if b != 20*sim.Millisecond {
+			t.Fatalf("cpu %d busy %v, want 20ms", i, b)
+		}
+	}
+}
+
+func TestPerCPUSchedDeterministic(t *testing.T) {
+	l1, b1 := runPerCPUFleet(t, 64, 200, 7*sim.Millisecond)
+	l2, b2 := runPerCPUFleet(t, 64, 200, 7*sim.Millisecond)
+	if l1 != l2 {
+		t.Fatalf("makespans differ across identical runs: %v vs %v", l1, l2)
+	}
+	for i := range b1 {
+		if b1[i] != b2[i] {
+			t.Fatalf("cpu %d busy differs across identical runs: %v vs %v", i, b1[i], b2[i])
+		}
+	}
+}
+
+func TestPerCPUSchedMigrationCostCharged(t *testing.T) {
+	// Three always-runnable threads on 2 CPUs bounce between processors
+	// (round-robin through least-recently-run); each hop pays the
+	// cache-affinity penalty, so the makespan stretches past the ideal
+	// 150ms and the machine's busy time exceeds the useful work.
+	run := func(mig sim.Duration) (sim.Time, sim.Duration) {
+		eng := sim.NewEngine(1)
+		costs := DefaultCosts()
+		costs.Migration = mig
+		k := NewSMP(eng, ModeUnmodified, costs, 2)
+		if !k.EnablePerCPUSched() {
+			t.Fatal("EnablePerCPUSched returned false")
+		}
+		var last sim.Time
+		for i := 0; i < 3; i++ {
+			p := k.NewProcess("p")
+			p.NewThread("t").PostFunc("w", 100*sim.Millisecond, rc.UserCPU, nil, func() {
+				if eng.Now() > last {
+					last = eng.Now()
+				}
+			})
+		}
+		eng.Run()
+		return last, k.BusyTime()
+	}
+	base, baseBusy := run(0)
+	if baseBusy != 300*sim.Millisecond {
+		t.Fatalf("free migration busy %v, want exactly the 300ms of work", baseBusy)
+	}
+	slow, slowBusy := run(100 * sim.Microsecond)
+	if slow <= base {
+		t.Fatalf("makespan with migration cost %v not later than free %v", slow, base)
+	}
+	if slowBusy <= 300*sim.Millisecond {
+		t.Fatalf("busy %v with migration cost, want > 300ms of charged time", slowBusy)
+	}
+}
+
+func TestPerCPUSchedRCModeCapHolds(t *testing.T) {
+	// The container scheduler's cap enforcement survives sharding: a 25%
+	// limit on a 2-CPU machine still holds under per-CPU queues.
+	eng, k := newPerCPUSMP(t, ModeRC, 2)
+	capped := rc.MustNew(nil, rc.FixedShare, "capped", rc.Attributes{Limit: 0.25})
+	l1 := rc.MustNew(capped, rc.TimeShare, "l1", rc.Attributes{Priority: 1})
+	l2 := rc.MustNew(capped, rc.TimeShare, "l2", rc.Attributes{Priority: 1})
+	free := rc.MustNew(nil, rc.TimeShare, "free", rc.Attributes{Priority: 1})
+	p := k.NewProcess("app")
+	p.NewThread("c1").PostFunc("w", 100*sim.Second, rc.UserCPU, l1, nil)
+	p.NewThread("c2").PostFunc("w", 100*sim.Second, rc.UserCPU, l2, nil)
+	p.NewThread("f1").PostFunc("w", 100*sim.Second, rc.UserCPU, free, nil)
+	p.NewThread("f2").PostFunc("w", 100*sim.Second, rc.UserCPU, free, nil)
+	eng.RunUntil(sim.Time(10 * sim.Second))
+	total := 2.0 * 10
+	cappedShare := capped.Usage().CPU().Seconds() / total
+	if cappedShare < 0.22 || cappedShare > 0.28 {
+		t.Fatalf("capped subtree share %.3f of 2-CPU machine, want ~0.25", cappedShare)
+	}
+}

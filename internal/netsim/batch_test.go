@@ -1,0 +1,250 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// --- Queue.PopInto: batched drains across the ring-buffer boundaries ---
+
+func TestQueuePopIntoFIFO(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	dst := make([]int, 4)
+	if n := q.PopInto(dst); n != 4 {
+		t.Fatalf("PopInto delivered %d, want 4", n)
+	}
+	for i, v := range dst {
+		if v != i {
+			t.Fatalf("dst[%d] = %d, want %d", i, v, i)
+		}
+	}
+	// The remainder pops in order after the batch.
+	if v, _ := q.Pop(); v != 4 {
+		t.Fatalf("head after batch = %d, want 4", v)
+	}
+	if q.Len() != 5 {
+		t.Fatalf("len %d, want 5", q.Len())
+	}
+}
+
+func TestQueuePopIntoShortQueue(t *testing.T) {
+	q := NewQueue[int](0)
+	q.Push(1)
+	q.Push(2)
+	dst := make([]int, 8)
+	if n := q.PopInto(dst); n != 2 {
+		t.Fatalf("PopInto delivered %d, want 2", n)
+	}
+	if dst[0] != 1 || dst[1] != 2 {
+		t.Fatalf("batch %v, want [1 2 ...]", dst[:2])
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len %d after full drain, want 0", q.Len())
+	}
+	if n := q.PopInto(dst); n != 0 {
+		t.Fatalf("PopInto on empty delivered %d, want 0", n)
+	}
+	if n := q.PopInto(nil); n != 0 {
+		t.Fatalf("PopInto(nil) delivered %d, want 0", n)
+	}
+}
+
+func TestQueuePopIntoWraparound(t *testing.T) {
+	// Force the batch to straddle the ring seam: advance head, refill so
+	// the live region wraps past the end of the backing array.
+	q := NewQueue[int](0)
+	for i := 0; i < 8; i++ {
+		q.Push(i) // 8-slot backing array, exactly full
+	}
+	for i := 0; i < 6; i++ {
+		q.Pop() // head = 6
+	}
+	for i := 8; i < 13; i++ {
+		q.Push(i) // wraps: items 6..12 with head near the seam
+	}
+	dst := make([]int, 7)
+	if n := q.PopInto(dst); n != 7 {
+		t.Fatalf("PopInto delivered %d, want 7", n)
+	}
+	for i, v := range dst {
+		if v != 6+i {
+			t.Fatalf("dst[%d] = %d, want %d (seam-crossing batch out of order)", i, v, 6+i)
+		}
+	}
+}
+
+func TestQueuePopIntoReleasesLargeBufferOnDrain(t *testing.T) {
+	// A batched drain honors the same grow/shrink contract as Pop: a
+	// large backing array is released when the batch empties the queue,
+	// and a small one is retained.
+	q := NewQueue[int](0)
+	for i := 0; i < keepCap*4; i++ {
+		q.Push(i)
+	}
+	dst := make([]int, keepCap*4)
+	if n := q.PopInto(dst); n != keepCap*4 {
+		t.Fatalf("PopInto delivered %d, want %d", n, keepCap*4)
+	}
+	if q.buf != nil {
+		t.Fatalf("batched drain retains a %d-slot buffer, want released (> keepCap=%d)", len(q.buf), keepCap)
+	}
+	q.Push(1)
+	if q.PopInto(dst[:1]) != 1 {
+		t.Fatal("PopInto after release failed")
+	}
+	if q.buf == nil {
+		t.Fatal("batched drain released a small buffer; steady-state traffic would reallocate")
+	}
+}
+
+func TestQueuePopIntoReleasesReferences(t *testing.T) {
+	q := NewQueue[*int](0)
+	v := new(int)
+	for i := 0; i < 4; i++ {
+		q.Push(v)
+	}
+	dst := make([]*int, 2)
+	q.PopInto(dst)
+	// The vacated ring slots must be zeroed so drained items are not
+	// pinned by the backing array.
+	for i := 0; i < 2; i++ {
+		if q.buf[i] != nil {
+			t.Fatalf("ring slot %d still references a drained item", i)
+		}
+	}
+}
+
+func TestQueuePopIntoThenPushInterleaved(t *testing.T) {
+	// Grow/shrink boundary churn: repeated partial batch drains
+	// interleaved with pushes must preserve FIFO across every
+	// reallocation and seam crossing.
+	q := NewQueue[int](0)
+	next, expect := 0, 0
+	dst := make([]int, 3)
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 5; i++ {
+			q.Push(next)
+			next++
+		}
+		n := q.PopInto(dst)
+		for i := 0; i < n; i++ {
+			if dst[i] != expect {
+				t.Fatalf("round %d: got %d, want %d", round, dst[i], expect)
+			}
+			expect++
+		}
+	}
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if v != expect {
+			t.Fatalf("tail drain: got %d, want %d", v, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("conservation: drained %d items, pushed %d", expect, next)
+	}
+}
+
+// --- Demux at scale: thousands of listen sockets ---
+
+func TestDemuxThousandsOfListeners(t *testing.T) {
+	var d Demux
+	const n = 5000
+	listeners := make([]*Listener, n)
+	for i := 0; i < n; i++ {
+		l := &Listener{Local: Addr{IP: MustParseIP("10.0.0.1"), Port: uint16(1 + i%60000)}}
+		if i >= 60000 {
+			t.Fatal("test assumes unique ports")
+		}
+		listeners[i] = l
+		if err := d.Add(l); err != nil {
+			t.Fatalf("Add #%d: %v", i, err)
+		}
+	}
+	if d.Len() != n {
+		t.Fatalf("Len %d, want %d", d.Len(), n)
+	}
+	src := MustParseIP("10.1.0.1")
+	for i := 0; i < n; i += 97 {
+		got := d.Match(listeners[i].Local, src)
+		if got != listeners[i] {
+			t.Fatalf("Match(port %d) = %v, want listener %d", listeners[i].Local.Port, got, i)
+		}
+	}
+	if d.Match(Addr{IP: MustParseIP("10.0.0.1"), Port: 60001}, src) != nil {
+		t.Fatal("Match on an unbound port should be nil")
+	}
+	// Remove every other listener; matches and Len stay consistent.
+	for i := 0; i < n; i += 2 {
+		d.Remove(listeners[i])
+	}
+	if d.Len() != n/2 {
+		t.Fatalf("Len %d after removes, want %d", d.Len(), n/2)
+	}
+	if d.Match(listeners[0].Local, src) != nil {
+		t.Fatal("removed listener still matches")
+	}
+	if d.Match(listeners[1].Local, src) != listeners[1] {
+		t.Fatal("surviving listener no longer matches")
+	}
+}
+
+func TestDemuxSharedPortManyFilters(t *testing.T) {
+	// Thousands of filtered sockets sharing one port (per-client-network
+	// listeners): the most specific match must still win, and the
+	// earlier binding must win specificity ties — binding order within a
+	// port bucket is insertion order.
+	var d Demux
+	local := Addr{IP: MustParseIP("10.0.0.1"), Port: 80}
+	const n = 2000
+	filtered := make([]*Listener, n)
+	for i := 0; i < n; i++ {
+		f := Filter{Template: IP(uint32(i) << 16), MaskBits: 16}
+		filtered[i] = &Listener{Local: local, Filter: f}
+		if err := d.Add(filtered[i]); err != nil {
+			t.Fatalf("Add filter #%d: %v", i, err)
+		}
+	}
+	wildcard := &Listener{Local: local}
+	if err := d.Add(wildcard); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		src := IP(uint32(i)<<16 + 7)
+		if got := d.Match(local, src); got != filtered[i] {
+			t.Fatalf("Match(src in net %d) = %v, want its /16 listener", i, got)
+		}
+	}
+	// A source outside every /16 falls through to the wildcard.
+	if got := d.Match(local, IP(uint32(n+5)<<16)); got != wildcard {
+		t.Fatalf("unfiltered source matched %v, want the wildcard listener", got)
+	}
+	// A duplicate (local, filter) still collides inside the bucket.
+	if err := d.Add(&Listener{Local: local, Filter: filtered[3].Filter}); err == nil {
+		t.Fatal("duplicate binding accepted")
+	}
+}
+
+func BenchmarkDemuxMatch5kListeners(b *testing.B) {
+	var d Demux
+	for i := 0; i < 5000; i++ {
+		if err := d.Add(&Listener{Local: Addr{IP: MustParseIP("10.0.0.1"), Port: uint16(1 + i)}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst := Addr{IP: MustParseIP("10.0.0.1"), Port: 2500}
+	src := MustParseIP("10.1.0.1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.Match(dst, src) == nil {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -28,8 +28,15 @@ var ErrAddrInUse = errors.New("netsim: address already in use")
 // <address, port> as long as their <template, mask> filters differ, and
 // an incoming SYN is assigned to the socket with the most specific
 // matching filter (§4.8).
+//
+// Listeners are indexed by destination port, so with thousands of bound
+// sockets a Match touches only the bucket of candidates sharing the
+// packet's port, not every listener on the machine. Within a bucket
+// listeners stay in binding order, preserving the earlier-binding
+// tie-break among equally specific filters.
 type Demux struct {
-	listeners []*Listener
+	byPort map[uint16][]*Listener
+	n      int
 }
 
 // Add binds a listener. It fails if an identical (local, filter) binding
@@ -38,20 +45,32 @@ func (d *Demux) Add(l *Listener) error {
 	if err := l.Filter.Validate(); err != nil {
 		return err
 	}
-	for _, x := range d.listeners {
+	if d.byPort == nil {
+		d.byPort = make(map[uint16][]*Listener)
+	}
+	bucket := d.byPort[l.Local.Port]
+	for _, x := range bucket {
 		if x.Local == l.Local && x.Filter == l.Filter {
 			return fmt.Errorf("%w: %s", ErrAddrInUse, l)
 		}
 	}
-	d.listeners = append(d.listeners, l)
+	d.byPort[l.Local.Port] = append(bucket, l)
+	d.n++
 	return nil
 }
 
 // Remove unbinds a listener; unknown listeners are ignored.
 func (d *Demux) Remove(l *Listener) {
-	for i, x := range d.listeners {
+	bucket := d.byPort[l.Local.Port]
+	for i, x := range bucket {
 		if x == l {
-			d.listeners = append(d.listeners[:i], d.listeners[i+1:]...)
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 0 {
+				delete(d.byPort, l.Local.Port)
+			} else {
+				d.byPort[l.Local.Port] = bucket
+			}
+			d.n--
 			return
 		}
 	}
@@ -62,10 +81,7 @@ func (d *Demux) Remove(l *Listener) {
 // when no socket matches. Earlier bindings win ties, deterministically.
 func (d *Demux) Match(dst Addr, src IP) *Listener {
 	var best *Listener
-	for _, l := range d.listeners {
-		if l.Local.Port != dst.Port {
-			continue
-		}
+	for _, l := range d.byPort[dst.Port] {
 		if l.Local.IP != 0 && l.Local.IP != dst.IP {
 			continue
 		}
@@ -80,4 +96,4 @@ func (d *Demux) Match(dst Addr, src IP) *Listener {
 }
 
 // Len returns the number of bound listeners.
-func (d *Demux) Len() int { return len(d.listeners) }
+func (d *Demux) Len() int { return d.n }

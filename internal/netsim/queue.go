@@ -98,6 +98,30 @@ func (q *Queue[T]) Pop() (T, bool) {
 // keepCap is the largest backing array a drained queue retains.
 const keepCap = 64
 
+// PopInto removes up to len(dst) of the oldest items into dst and
+// returns how many it delivered — batched event delivery, one call
+// instead of a Pop per item for servers draining a deep backlog.
+func (q *Queue[T]) PopInto(dst []T) int {
+	var zero T
+	n := len(dst)
+	if n > q.n {
+		n = q.n
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = q.buf[q.head]
+		q.buf[q.head] = zero // release reference
+		q.head = (q.head + 1) % len(q.buf)
+	}
+	q.n -= n
+	if q.n == 0 {
+		if len(q.buf) > keepCap {
+			q.buf = nil
+		}
+		q.head = 0
+	}
+	return n
+}
+
 // Peek returns the oldest item without removing it.
 func (q *Queue[T]) Peek() (T, bool) {
 	var zero T

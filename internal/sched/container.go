@@ -322,10 +322,25 @@ func (s *ContainerScheduler) evaluate(e *Entity, now sim.Time) (schedClass, floa
 func (s *ContainerScheduler) Pick(now sim.Time) *Entity {
 	s.rollWindow(now)
 	s.sawThrottled = false
+	best, bestClass := s.pickIn(s.set.runnable, now)
+	if best != nil && bestClass == classNormal && s.policy == PolicyLottery {
+		best = s.lotteryNormal(now)
+	}
+	if best != nil {
+		best.lastRun = now
+	}
+	return best
+}
+
+// pickIn finds the best eligible entity in one seq-ordered runnable list
+// (the shared list, or a per-CPU shard). Candidate order matters: the
+// near-equal-key tie-break is not transitive, so both paths must iterate
+// in the same seq order a full-set scan would.
+func (s *ContainerScheduler) pickIn(list []*Entity, now sim.Time) (*Entity, schedClass) {
 	var best *Entity
 	bestClass := classNone
 	var bestKey float64
-	for _, e := range s.set.runnable {
+	for _, e := range list {
 		if e.onCPU {
 			continue
 		}
@@ -339,13 +354,7 @@ func (s *ContainerScheduler) Pick(now sim.Time) *Entity {
 			best, bestClass, bestKey = e, cls, key
 		}
 	}
-	if best != nil && bestClass == classNormal && s.policy == PolicyLottery {
-		best = s.lotteryNormal(now)
-	}
-	if best != nil {
-		best.lastRun = now
-	}
-	return best
+	return best, bestClass
 }
 
 // lotteryNormal re-selects among all normal-class candidates by lottery.

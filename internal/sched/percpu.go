@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"rescon/internal/sim"
+)
+
+// Per-CPU run queues: instead of every processor scanning one global
+// runnable list per scheduling decision, each entity is homed on a run
+// queue and a processor's Pick scans only its own queue. An idle
+// processor steals: it probes the other queues in a seeded, per-CPU
+// fixed permutation and migrates the first eligible entity it finds to
+// its own queue. Both the home assignment (round-robin by registration
+// order) and the steal order are pure functions of (ncpus, seed), so a
+// run is bit-for-bit deterministic — the point of this simulator.
+//
+// Sharding is strictly opt-in (Kernel.EnablePerCPUSched): the default
+// shared-queue path is untouched, byte-identical to the historical
+// behavior, and remains what the single-CPU experiment sweeps use.
+
+// PerCPUScheduler is implemented by schedulers that can partition their
+// runnable set into per-CPU run queues with deterministic work stealing.
+type PerCPUScheduler interface {
+	Scheduler
+	// EnablePerCPU splits the runnable set into ncpus queues; rng seeds
+	// the per-CPU steal orders. Entities registered before or after are
+	// homed round-robin by registration order.
+	EnablePerCPU(ncpus int, rng *sim.RNG)
+	// PerCPUEnabled reports whether sharding is active.
+	PerCPUEnabled() bool
+	// PickFor returns the entity CPU cpu should run next: the best
+	// candidate on its own queue, else the first steal the victim
+	// permutation yields. Falls back to the shared Pick when sharding is
+	// off.
+	PickFor(cpu int, now sim.Time) *Entity
+}
+
+// EnablePerCPU implements PerCPUScheduler.
+func (s *DecayScheduler) EnablePerCPU(ncpus int, rng *sim.RNG) { s.set.enablePerCPU(ncpus, rng) }
+
+// PerCPUEnabled implements PerCPUScheduler.
+func (s *DecayScheduler) PerCPUEnabled() bool { return s.set.perCPU() }
+
+// PickFor implements PerCPUScheduler.
+func (s *DecayScheduler) PickFor(cpu int, now sim.Time) *Entity {
+	if !s.set.perCPU() {
+		return s.Pick(now)
+	}
+	best := s.pickIn(s.set.shards[cpu], now)
+	if best == nil {
+		for _, v := range s.set.steal[cpu] {
+			if best = s.pickIn(s.set.shards[v], now); best != nil {
+				s.set.migrate(best, cpu)
+				break
+			}
+		}
+	}
+	if best != nil {
+		best.lastRun = now
+	}
+	return best
+}
+
+// EnablePerCPU implements PerCPUScheduler.
+func (s *ContainerScheduler) EnablePerCPU(ncpus int, rng *sim.RNG) { s.set.enablePerCPU(ncpus, rng) }
+
+// PerCPUEnabled implements PerCPUScheduler.
+func (s *ContainerScheduler) PerCPUEnabled() bool { return s.set.perCPU() }
+
+// PickFor implements PerCPUScheduler. The lottery leaf policy needs the
+// global candidate set for its ticket draw, so it always uses the shared
+// path.
+func (s *ContainerScheduler) PickFor(cpu int, now sim.Time) *Entity {
+	if !s.set.perCPU() || s.policy == PolicyLottery {
+		return s.Pick(now)
+	}
+	s.rollWindow(now)
+	s.sawThrottled = false
+	best, _ := s.pickIn(s.set.shards[cpu], now)
+	if best == nil {
+		for _, v := range s.set.steal[cpu] {
+			if best, _ = s.pickIn(s.set.shards[v], now); best != nil {
+				s.set.migrate(best, cpu)
+				break
+			}
+		}
+	}
+	if best != nil {
+		best.lastRun = now
+	}
+	return best
+}

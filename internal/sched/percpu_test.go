@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"testing"
+
+	"rescon/internal/rc"
+	"rescon/internal/sim"
+)
+
+func newPerCPUDecay(ncpus int, seed int64) (*DecayScheduler, []*Entity) {
+	s := NewDecayScheduler()
+	var es []*Entity
+	for i := 0; i < ncpus*2; i++ {
+		e := &Entity{ID: uint64(i), Name: "e", Proc: NewProcPrincipal("p")}
+		s.Register(e)
+		s.SetRunnable(e, true)
+		es = append(es, e)
+	}
+	s.EnablePerCPU(ncpus, sim.NewRNG(seed))
+	return s, es
+}
+
+func TestPerCPUHomeAssignmentRoundRobin(t *testing.T) {
+	s, es := newPerCPUDecay(4, 1)
+	if !s.PerCPUEnabled() {
+		t.Fatal("PerCPUEnabled false after EnablePerCPU")
+	}
+	for i, e := range es {
+		if e.Home() != i%4 {
+			t.Fatalf("entity %d homed on %d, want %d", i, e.Home(), i%4)
+		}
+	}
+	// Entities registered after enabling continue the round-robin.
+	late := &Entity{ID: 100, Name: "late", Proc: NewProcPrincipal("p")}
+	s.Register(late)
+	if late.Home() != len(es)%4 {
+		t.Fatalf("late entity homed on %d, want %d", late.Home(), len(es)%4)
+	}
+}
+
+func TestPerCPUStealOrderDeterministic(t *testing.T) {
+	s1, _ := newPerCPUDecay(8, 7)
+	s2, _ := newPerCPUDecay(8, 7)
+	s3, _ := newPerCPUDecay(8, 8)
+	differs := false
+	for c := 0; c < 8; c++ {
+		o1, o2, o3 := s1.set.steal[c], s2.set.steal[c], s3.set.steal[c]
+		if len(o1) != 7 {
+			t.Fatalf("cpu %d steal order has %d victims, want 7", c, len(o1))
+		}
+		seen := map[int]bool{}
+		for i, v := range o1 {
+			if v == c {
+				t.Fatalf("cpu %d lists itself as a victim", c)
+			}
+			if seen[v] {
+				t.Fatalf("cpu %d steal order repeats victim %d", c, v)
+			}
+			seen[v] = true
+			if v != o2[i] {
+				t.Fatalf("same seed produced different steal orders for cpu %d", c)
+			}
+			if v != o3[i] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical steal orders on every CPU")
+	}
+}
+
+func TestPerCPUPickForPrefersHomeQueue(t *testing.T) {
+	s, es := newPerCPUDecay(4, 3)
+	got := s.PickFor(1, 0)
+	if got == nil || got.Home() != 1 {
+		t.Fatalf("PickFor(1) returned %v, want an entity homed on 1", got)
+	}
+	// With every entity on CPU 1 blocked, PickFor(1) steals and migrates.
+	for _, e := range es {
+		if e.Home() == 1 {
+			s.SetRunnable(e, false)
+		}
+	}
+	stolen := s.PickFor(1, 0)
+	if stolen == nil {
+		t.Fatal("PickFor(1) found nothing to steal")
+	}
+	if stolen.Home() != 1 {
+		t.Fatalf("stolen entity homed on %d, want migrated to 1", stolen.Home())
+	}
+	victim := s.set.steal[1][0]
+	if int(stolen.seq%4) != victim {
+		t.Fatalf("stole from cpu %d, want first victim %d", stolen.seq%4, victim)
+	}
+}
+
+func TestPerCPUMigrateMaintainsShards(t *testing.T) {
+	s, es := newPerCPUDecay(2, 5)
+	e := es[0] // homed on 0
+	s.set.migrate(e, 1)
+	if e.Home() != 1 {
+		t.Fatalf("home %d after migrate, want 1", e.Home())
+	}
+	for _, x := range s.set.shards[0] {
+		if x == e {
+			t.Fatal("migrated entity still on shard 0")
+		}
+	}
+	found := false
+	for i, x := range s.set.shards[1] {
+		if x == e {
+			found = true
+			if i > 0 && s.set.shards[1][i-1].seq > e.seq {
+				t.Fatal("shard 1 not seq-ordered after migrate")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("migrated entity missing from shard 1")
+	}
+	// Blocking and waking keeps it on the new home.
+	s.SetRunnable(e, false)
+	s.SetRunnable(e, true)
+	if e.Home() != 1 {
+		t.Fatalf("home %d after block/wake, want 1", e.Home())
+	}
+}
+
+func TestPerCPUSkipsOnCPUEntities(t *testing.T) {
+	s, es := newPerCPUDecay(2, 9)
+	for _, e := range es {
+		if e.Home() == 0 {
+			e.SetOnCPU(true)
+		}
+	}
+	got := s.PickFor(0, 0)
+	if got == nil {
+		t.Fatal("PickFor(0) returned nil with runnable entities on other queues")
+	}
+	if got.OnCPU() {
+		t.Fatalf("PickFor returned an on-CPU entity %v", got)
+	}
+}
+
+func TestPerCPUGlobalRunnableStaysAuthoritative(t *testing.T) {
+	s, es := newPerCPUDecay(4, 2)
+	if got := s.RunnableCount(); got != len(es) {
+		t.Fatalf("RunnableCount %d, want %d", got, len(es))
+	}
+	s.SetRunnable(es[3], false)
+	if got := s.RunnableCount(); got != len(es)-1 {
+		t.Fatalf("RunnableCount %d after block, want %d", got, len(es)-1)
+	}
+	// The shared Pick still works (it reads the global list).
+	if s.Pick(0) == nil {
+		t.Fatal("shared Pick returned nil with runnable entities")
+	}
+}
+
+func TestPerCPUContainerLotteryFallsBack(t *testing.T) {
+	s := NewContainerScheduler()
+	s.SetLeafPolicy(PolicyLottery, 1)
+	c := rc.MustNew(nil, rc.TimeShare, "a", rc.Attributes{Priority: 1})
+	e := leafEntity(1, c, s)
+	s.EnablePerCPU(4, sim.NewRNG(2))
+	// PickFor on a CPU whose shard is empty must still find the entity:
+	// the lottery draws from the global candidate set.
+	for c := 0; c < 4; c++ {
+		if got := s.PickFor(c, 0); got != e {
+			t.Fatalf("lottery PickFor(%d) = %v, want %v", c, got, e)
+		}
+	}
+}

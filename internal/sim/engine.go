@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // EventFunc is the body of a scheduled event. It runs at its scheduled
@@ -12,13 +13,19 @@ type EventFunc func()
 // and cancelled events are recycled through the engine's free list, so
 // steady-state scheduling performs no heap allocation; the generation
 // counter keeps recycled storage from resurrecting stale handles.
+//
+// Pending events live on intrusive doubly-linked bucket lists inside the
+// engine's timing wheel (or its far-future calendar), so insert, expire
+// and cancel never move other events and never allocate.
 type event struct {
 	at     Time
 	seq    uint64 // tie-breaker: FIFO among events at the same instant
 	fn     EventFunc
-	index  int    // heap index; -1 once removed
+	bkt    int32  // bucket index (wheel or far calendar); -1 once removed
 	gen    uint64 // bumped on fire/cancel; handles with an older gen are dead
 	engine *Engine
+	next   *event
+	prev   *event
 }
 
 // Event is a handle to a scheduled event, usable for cancellation. It is
@@ -37,103 +44,82 @@ func (h Event) At() Time { return h.at }
 
 // Cancel removes the event from the queue. Cancelling an event that has
 // already fired or been cancelled is a no-op. Cancel reports whether the
-// event was actually pending.
+// event was actually pending. Cancellation is O(1) regardless of how far
+// in the future the event sits: the handle leads straight to its bucket
+// list node, with no queue scan or heap sift.
 func (h Event) Cancel() bool {
 	ev := h.e
-	if ev == nil || ev.gen != h.gen || ev.index < 0 {
+	if ev == nil || ev.gen != h.gen || ev.bkt < 0 {
 		return false
 	}
-	ev.engine.queue.remove(ev.index)
-	ev.engine.release(ev)
+	e := ev.engine
+	e.unlink(ev)
+	e.npending--
+	e.release(ev)
 	return true
 }
 
 // Pending reports whether the event is still scheduled to fire.
 func (h Event) Pending() bool {
-	return h.e != nil && h.e.gen == h.gen && h.e.index >= 0
+	return h.e != nil && h.e.gen == h.gen && h.e.bkt >= 0
 }
 
-// eventQueue is a binary min-heap ordered by (at, seq). It is hand-rolled
-// rather than built on container/heap to keep interface boxing and
-// indirect calls out of the simulator's innermost loop.
-type eventQueue []*event
+// The pending-event store is a hierarchical timing wheel: wheelLevels
+// levels of wheelSlots buckets, where a level-l slot spans 2^(wheelBits*l)
+// nanoseconds. An event is filed at the level of the highest 6-bit digit
+// in which its timestamp differs from the wheel's base time; level-0
+// buckets therefore hold events of a single exact timestamp, in FIFO
+// (= sequence) order. The wheel's base only advances inside Step, and
+// only to the start of the bucket being expired, so base <= now at rest
+// and a new insert can never land before base.
+//
+// Events beyond the wheel's span (timestamps whose bits above farShift
+// differ from base's — more than ~73 virtual minutes ahead) go to a
+// far-future calendar: farBuckets lists hashed by epoch, each kept sorted
+// by (at, seq). When the wheel drains, the earliest far epoch is migrated
+// into the wheel wholesale. Insert and expire are O(1) amortized — each
+// event cascades down at most wheelLevels times over its lifetime.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits // 64 slots per level
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 7
+	farShift    = wheelBits * wheelLevels // wheel spans 2^42 ns
+	farBuckets  = 64
+	farBase     = wheelLevels * wheelSlots // bucket indexes >= farBase are far
+)
 
-func (q eventQueue) less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// bucket is one intrusive doubly-linked event list.
+type bucket struct {
+	head *event
+	tail *event
+}
+
+// append adds ev at the tail (FIFO order).
+func (b *bucket) append(ev *event) {
+	ev.prev = b.tail
+	ev.next = nil
+	if b.tail != nil {
+		b.tail.next = ev
+	} else {
+		b.head = ev
 	}
-	return q[i].seq < q[j].seq
+	b.tail = ev
 }
 
-func (q eventQueue) swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q eventQueue) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			break
-		}
-		q.swap(i, parent)
-		i = parent
+// remove unlinks ev from the list.
+func (b *bucket) remove(ev *event) {
+	if ev.prev != nil {
+		ev.prev.next = ev.next
+	} else {
+		b.head = ev.next
 	}
-}
-
-func (q eventQueue) down(i int) {
-	n := len(q)
-	for {
-		l := 2*i + 1
-		if l >= n {
-			return
-		}
-		j := l
-		if r := l + 1; r < n && q.less(r, l) {
-			j = r
-		}
-		if !q.less(j, i) {
-			return
-		}
-		q.swap(i, j)
-		i = j
+	if ev.next != nil {
+		ev.next.prev = ev.prev
+	} else {
+		b.tail = ev.prev
 	}
-}
-
-func (q *eventQueue) push(ev *event) {
-	ev.index = len(*q)
-	*q = append(*q, ev)
-	q.up(ev.index)
-}
-
-func (q *eventQueue) pop() *event {
-	old := *q
-	n := len(old) - 1
-	old.swap(0, n)
-	ev := old[n]
-	old[n] = nil
-	ev.index = -1
-	*q = old[:n]
-	(*q).down(0)
-	return ev
-}
-
-// remove deletes the event at heap index i.
-func (q *eventQueue) remove(i int) {
-	old := *q
-	n := len(old) - 1
-	ev := old[i]
-	if i != n {
-		old.swap(i, n)
-	}
-	old[n] = nil
-	ev.index = -1
-	*q = old[:n]
-	if i != n {
-		(*q).down(i)
-		(*q).up(i)
-	}
+	ev.next, ev.prev = nil, nil
 }
 
 // Engine is a discrete-event simulator. It is not safe for concurrent use;
@@ -143,7 +129,6 @@ func (q *eventQueue) remove(i int) {
 // state.)
 type Engine struct {
 	now     Time
-	queue   eventQueue
 	seq     uint64
 	rng     *RNG
 	seed    int64
@@ -153,6 +138,13 @@ type Engine struct {
 	// here and are handed out again by alloc. It grows to the maximum
 	// number of concurrently pending events and no further.
 	free []*event
+
+	base     Time                // wheel base; invariant: base <= now at rest
+	occ      [wheelLevels]uint64 // per-level slot-occupancy bitmaps
+	buckets  [wheelLevels * wheelSlots]bucket
+	far      [farBuckets]bucket // far-future calendar, sorted by (at, seq)
+	farCount int
+	npending int
 }
 
 // NewEngine returns an engine with the clock at zero and a deterministic
@@ -172,7 +164,7 @@ func (e *Engine) Seed() int64 { return e.seed }
 func (e *Engine) Rand() *RNG { return e.rng }
 
 // Pending returns the number of events currently queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.npending }
 
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -185,7 +177,7 @@ func (e *Engine) alloc() *event {
 		e.free = e.free[:n-1]
 		return ev
 	}
-	return &event{engine: e}
+	return &event{engine: e, bkt: -1}
 }
 
 // release recycles a fired or cancelled event. The generation bump kills
@@ -193,8 +185,199 @@ func (e *Engine) alloc() *event {
 func (e *Engine) release(ev *event) {
 	ev.gen++
 	ev.fn = nil
-	ev.index = -1
+	ev.bkt = -1
 	e.free = append(e.free, ev)
+}
+
+// enqueue files ev into the wheel bucket (or far-calendar list) its
+// timestamp selects under the current base. It does not touch npending:
+// callers moving events between buckets reuse it.
+func (e *Engine) enqueue(ev *event) {
+	t := uint64(ev.at)
+	b := uint64(e.base)
+	if t>>farShift != b>>farShift {
+		e.enqueueFar(ev)
+		return
+	}
+	level := 0
+	if diff := t ^ b; diff != 0 {
+		level = (bits.Len64(diff) - 1) / wheelBits
+	}
+	slot := int(t>>(uint(level)*wheelBits)) & wheelMask
+	idx := level*wheelSlots + slot
+	e.buckets[idx].append(ev)
+	ev.bkt = int32(idx)
+	e.occ[level] |= 1 << uint(slot)
+}
+
+// enqueueFar files ev in its far-calendar bucket, keeping the list sorted
+// by (at, seq). The walk starts from the tail: timers are typically
+// scheduled in roughly increasing order, making the common insert O(1).
+func (e *Engine) enqueueFar(ev *event) {
+	i := int(uint64(ev.at)>>farShift) & (farBuckets - 1)
+	b := &e.far[i]
+	at, seq := ev.at, ev.seq
+	p := b.tail
+	for p != nil && (p.at > at || (p.at == at && p.seq > seq)) {
+		p = p.prev
+	}
+	if p == nil {
+		// New head.
+		ev.prev = nil
+		ev.next = b.head
+		if b.head != nil {
+			b.head.prev = ev
+		} else {
+			b.tail = ev
+		}
+		b.head = ev
+	} else {
+		ev.prev = p
+		ev.next = p.next
+		if p.next != nil {
+			p.next.prev = ev
+		} else {
+			b.tail = ev
+		}
+		p.next = ev
+	}
+	ev.bkt = int32(farBase + i)
+	e.farCount++
+}
+
+// unlink removes ev from whichever bucket list holds it, maintaining the
+// occupancy bitmap (and far count). It does not touch npending.
+func (e *Engine) unlink(ev *event) {
+	idx := int(ev.bkt)
+	if idx >= farBase {
+		e.far[idx-farBase].remove(ev)
+		e.farCount--
+	} else {
+		b := &e.buckets[idx]
+		b.remove(ev)
+		if b.head == nil {
+			e.occ[idx>>wheelBits] &^= 1 << uint(idx&wheelMask)
+		}
+	}
+	ev.bkt = -1
+}
+
+// peekMin returns the earliest pending event by (at, seq) without
+// mutating any engine state, or nil when nothing is pending. Level-0
+// buckets hold a single timestamp in FIFO order, so their head is exact;
+// a higher-level bucket is scanned (its events span a slot's range); when
+// the wheel is empty the sorted far-list heads are compared.
+func (e *Engine) peekMin() *event {
+	if e.npending == 0 {
+		return nil
+	}
+	for level := 0; level < wheelLevels; level++ {
+		occ := e.occ[level]
+		if occ == 0 {
+			continue
+		}
+		slot := bits.TrailingZeros64(occ)
+		b := &e.buckets[level*wheelSlots+slot]
+		if level == 0 {
+			return b.head
+		}
+		best := b.head
+		for ev := best.next; ev != nil; ev = ev.next {
+			if ev.at < best.at || (ev.at == best.at && ev.seq < best.seq) {
+				best = ev
+			}
+		}
+		return best
+	}
+	var best *event
+	for i := range e.far {
+		h := e.far[i].head
+		if h != nil && (best == nil || h.at < best.at || (h.at == best.at && h.seq < best.seq)) {
+			best = h
+		}
+	}
+	return best
+}
+
+// popMin removes and returns the earliest pending event, advancing the
+// wheel base as needed. The caller must have checked npending > 0.
+//
+// The expiry loop finds the lowest non-empty level: every event at a
+// lower level precedes every event at a higher one (its first differing
+// digit from base is less significant), and within a level lower slots
+// precede higher ones, so the lowest occupied slot of the lowest
+// non-empty level holds the minimum. A level-0 bucket yields its FIFO
+// head directly; a higher-level bucket is cascaded — base advances to the
+// bucket's window start and its events refile one or more levels down,
+// preserving list order so same-instant events stay in sequence order.
+func (e *Engine) popMin() *event {
+	for {
+		level := -1
+		for l := 0; l < wheelLevels; l++ {
+			if e.occ[l] != 0 {
+				level = l
+				break
+			}
+		}
+		if level < 0 {
+			e.migrateFar()
+			continue
+		}
+		slot := bits.TrailingZeros64(e.occ[level])
+		idx := level*wheelSlots + slot
+		b := &e.buckets[idx]
+		if level == 0 {
+			ev := b.head
+			b.remove(ev)
+			if b.head == nil {
+				e.occ[0] &^= 1 << uint(slot)
+			}
+			ev.bkt = -1
+			e.npending--
+			return ev
+		}
+		// Cascade: advance base to this bucket's window (digits above the
+		// level keep base's values — they match every event here; the
+		// level's digit becomes the slot; lower digits zero) and refile.
+		shift := uint(level) * wheelBits
+		e.base = Time(uint64(e.base)&^(uint64(1)<<(shift+wheelBits)-1) | uint64(slot)<<shift)
+		head := b.head
+		b.head, b.tail = nil, nil
+		e.occ[level] &^= 1 << uint(slot)
+		for ev := head; ev != nil; {
+			next := ev.next
+			ev.next, ev.prev = nil, nil
+			e.enqueue(ev)
+			ev = next
+		}
+	}
+}
+
+// migrateFar moves the earliest far-calendar epoch into the wheel. Only
+// called with the wheel empty, so base may jump to the epoch's start
+// (which is <= the epoch's earliest event, itself >= now).
+func (e *Engine) migrateFar() {
+	var min *event
+	for i := range e.far {
+		h := e.far[i].head
+		if h != nil && (min == nil || h.at < min.at || (h.at == min.at && h.seq < min.seq)) {
+			min = h
+		}
+	}
+	if min == nil {
+		panic("sim: internal error: pending events but wheel and calendar empty")
+	}
+	epoch := uint64(min.at) >> farShift
+	e.base = Time(epoch << farShift)
+	b := &e.far[int(epoch)&(farBuckets-1)]
+	// The epoch's events form a prefix of the sorted list; epochs that
+	// collide modulo farBuckets sort strictly after (their times are
+	// >= a higher epoch start) and stay behind.
+	for ev := b.head; ev != nil && uint64(ev.at)>>farShift == epoch; ev = b.head {
+		b.remove(ev)
+		e.farCount--
+		e.enqueue(ev)
+	}
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
@@ -208,7 +391,8 @@ func (e *Engine) At(t Time, fn EventFunc) Event {
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++
-	e.queue.push(ev)
+	e.enqueue(ev)
+	e.npending++
 	return Event{e: ev, gen: ev.gen, at: t}
 }
 
@@ -227,10 +411,10 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.npending == 0 {
 		return false
 	}
-	ev := e.queue.pop()
+	ev := e.popMin()
 	e.now = ev.at
 	e.fired++
 	fn := ev.fn
@@ -249,10 +433,8 @@ func (e *Engine) Step() bool {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 {
-			break
-		}
-		if e.queue[0].at > deadline {
+		next := e.peekMin()
+		if next == nil || next.at > deadline {
 			break
 		}
 		e.Step()

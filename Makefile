@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-baseline bench-check chaos-smoke chaos-nightly scale-smoke scale-full tier1 ci
+.PHONY: all build vet lint test race bench bench-baseline bench-check chaos-smoke chaos-nightly scale-smoke scale-full live-smoke tier1 ci
 
 all: ci
 
@@ -10,12 +10,13 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Lint: vet, formatting, and facade doc coverage (every exported symbol
-# of the root rescon package must carry a doc comment).
+# Lint: vet, formatting, and doc coverage of the public surfaces (every
+# exported symbol of the root rescon facade and of the rcruntime bridge
+# must carry a doc comment).
 lint: vet
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
-	$(GO) run ./cmd/checkdocs .
+	$(GO) run ./cmd/checkdocs . ./internal/rcruntime
 
 # Fast suite: -short skips the long experiment sweeps but keeps the
 # runtime invariant checker on (the experiments test Options enable it).
@@ -66,6 +67,13 @@ scale-smoke:
 # mode × policing configs (nightly alongside the chaos sweep).
 scale-full:
 	$(GO) run ./cmd/rcbench -exp scale
+
+# Live-bridge smoke: boot a real net/http server on loopback, govern it
+# with rcruntime, and drive the closed-loop load generator under virtual
+# time. -check makes the run fail unless the policed configuration's
+# well-behaved goodput strictly exceeds the unpoliced one.
+live-smoke:
+	$(GO) run -race ./cmd/rcbench -exp live -quick -check
 
 tier1: build race
 

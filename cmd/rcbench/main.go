@@ -158,6 +158,21 @@ var runners = []runner{
 		printTable(t)
 		return nil
 	}},
+	// live is not part of -exp all: it boots a real net/http server on a
+	// loopback listener and drives it with a closed-loop load generator
+	// under virtual time (rcbench -exp live, with -check to enforce the
+	// isolation invariant). Goodput cells are deterministic; the overhead
+	// line is wall-clock, like Table 1's cost column.
+	{"live", false, func(opt experiments.Options) error {
+		res, err := experiments.Live(opt)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		fmt.Printf("live: governed-path overhead %.0f ns/request over a bare handler (wall clock, varies)\n",
+			res.OverheadNs)
+		return nil
+	}},
 	{"chaos", true, func(opt experiments.Options) error {
 		// Short windows (-quick) run fewer scenarios; each scenario runs
 		// under all three kernel modes with the determinism double-run.

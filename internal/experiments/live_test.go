@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+
+	"rescon/internal/sim"
+)
+
+func liveTestOpts() Options {
+	return Options{Seed: 7, Warmup: sim.Second, Window: 2 * sim.Second} // quick params
+}
+
+// TestLiveIsolation is the acceptance story of the real-runtime bridge:
+// a live net/http server on loopback, flooded by a misbehaving tenant —
+// policing (container limit + over-budget accept refusal) must strictly
+// improve the well-behaved tenant's goodput, both shedding layers must
+// actually fire, and the books must show the flood's CPU share crushed.
+func TestLiveIsolation(t *testing.T) {
+	res, err := Live(liveTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	up, pol := res.Cells[0], res.Cells[1]
+	if up.Config != "unpoliced" || pol.Config != "policed" {
+		t.Fatalf("cell order %q, %q", up.Config, pol.Config)
+	}
+	if pol.GoodRate <= up.GoodRate {
+		t.Fatalf("policed good goodput %.3f req/s does not exceed unpoliced %.3f req/s",
+			pol.GoodRate, up.GoodRate)
+	}
+	if up.Shed != 0 || up.Refused != 0 {
+		t.Fatalf("unpoliced cell shed %d / refused %d, want 0 / 0", up.Shed, up.Refused)
+	}
+	if pol.Shed == 0 {
+		t.Fatal("policed cell never shed at the middleware (429 layer not exercised)")
+	}
+	if pol.Refused == 0 {
+		t.Fatal("policed cell never refused at accept (listener layer not exercised)")
+	}
+	// The good tenant is fully served in both cells — the closed loop
+	// issues the same demand; only the flood is cut.
+	if pol.GoodServed != up.GoodServed {
+		t.Fatalf("good served %d policed vs %d unpoliced, want equal demand served", pol.GoodServed, up.GoodServed)
+	}
+	if pol.FloodCPUPct >= up.FloodCPUPct {
+		t.Fatalf("flood CPU share not reduced: %.1f%% policed vs %.1f%% unpoliced",
+			pol.FloodCPUPct, up.FloodCPUPct)
+	}
+	if res.OverheadNs < 0 {
+		t.Fatalf("negative overhead %v", res.OverheadNs)
+	}
+}
+
+// TestLiveDeterministic: the goodput cells are bit-identical across runs
+// — virtual time makes the real-HTTP run reproducible. (OverheadNs is
+// wall-clock and excluded, like Table 1's cost column.)
+func TestLiveDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: runs two full live cells twice")
+	}
+	a, err := Live(liveTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Live(liveTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs across runs:\n%+v\n%+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+	if a.Table().String() != b.Table().String() {
+		t.Fatal("rendered tables differ across runs")
+	}
+}
+
+// TestLiveInvariantGate: with Invariants set, Live enforces the
+// isolation acceptance criterion itself (the CI live-smoke contract).
+func TestLiveInvariantGate(t *testing.T) {
+	opt := liveTestOpts()
+	opt.Invariants = true
+	if _, err := Live(opt); err != nil {
+		t.Fatalf("isolation gate tripped on a healthy run: %v", err)
+	}
+}

@@ -7,18 +7,38 @@
 // attribute), while accounting actual usage into the same rc.Container
 // hierarchy the simulation uses.
 //
+// The package has two layers:
+//
+//   - Enforcer is the cooperative core: Acquire/Do bracket arbitrary
+//     sections of Go code with admission control and accounting.
+//   - Runtime is the production adapter for net/http servers: a
+//     Middleware that binds each request to a container (pluggable
+//     Binder, with dynamic §4.2 rebinding via Rebind), charges handler
+//     wall-clock into the hierarchy, sheds over-budget work with 429 +
+//     Retry-After, and a net.Listener wrapper (Runtime.Listener) that
+//     refuses connections at accept — the userspace mirror of
+//     kernel.Policing's early SYN drop. Construct it with
+//     NewRuntime(Config, ...Option); Config.Validate reports bad
+//     configurations as errors rather than panics.
+//
 // What this gives a real server:
 //
 //   - per-activity CPU accounting (wall-clock of bracketed sections,
 //     aggregated up the container hierarchy);
 //   - hard CPU limits per subtree, enforced by admission delay over a
 //     sliding window — the cooperative analogue of §5.6's sandboxes;
+//   - load shedding before work is invested: 429 at the middleware, and
+//     connection refusal at accept for the cost of a close(2) alone;
 //   - the same billing/snapshot tooling (rc.Capture, rc.WriteJSON).
 //
 // What it cannot give (and the paper's kernel could): involuntary
 // preemption, charging of kernel-mode protocol processing, and priority
 // scheduling of the network stack. Those require the kernel path this
-// repository simulates instead.
+// repository simulates instead; DESIGN.md §12 spells out the mapping.
+//
+// Everything is deterministic-testable: inject a virtual Clock with
+// WithClock and both layers (and the rcbench -exp live load generator)
+// run on virtual time.
 package rcruntime
 
 import (
@@ -48,6 +68,10 @@ func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
 // may consume at most L×window of CPU per window.
 const DefaultWindow = 100 * time.Millisecond
 
+// minPruneSize is the snapshot-table size below which the enforcer does
+// not bother sweeping destroyed containers between window rolls.
+const minPruneSize = 64
+
 // Enforcer admits work against container CPU limits and accounts usage.
 // It is safe for concurrent use; all container mutations happen under its
 // lock (the rc package itself is not concurrency-safe).
@@ -59,6 +83,11 @@ type Enforcer struct {
 	windowStart time.Time
 	snapshots   map[*rc.Container]time.Duration // subtree usage at window start
 	waiters     map[*rc.Container][]chan struct{}
+	// pruneAt is the snapshot-table size that triggers the next sweep of
+	// destroyed containers. Rolls prune too, but a long window (or one
+	// that never rolls because every acquire is admitted instantly) must
+	// not let destroyed containers pin memory in the meantime.
+	pruneAt int
 }
 
 // New returns an enforcer using the given clock (nil for the wall clock)
@@ -75,6 +104,7 @@ func New(clock Clock, window time.Duration) *Enforcer {
 		window:    window,
 		snapshots: make(map[*rc.Container]time.Duration),
 		waiters:   make(map[*rc.Container][]chan struct{}),
+		pruneAt:   minPruneSize,
 	}
 }
 
@@ -129,22 +159,83 @@ func (e *Enforcer) overLimitLocked(c *rc.Container, now time.Time) *rc.Container
 	return nil
 }
 
+// maybePruneLocked sweeps destroyed containers out of the snapshot and
+// waiter tables once they grow past the prune threshold. Rolls prune on
+// their own schedule; this bounds retention for containers released
+// mid-window, when the window is long or never rolls. Waiters parked on
+// a destroyed container are woken — its limit no longer applies.
+func (e *Enforcer) maybePruneLocked() {
+	if len(e.snapshots) < e.pruneAt {
+		return
+	}
+	for c := range e.snapshots {
+		if c.Destroyed() {
+			delete(e.snapshots, c)
+		}
+	}
+	for c, ws := range e.waiters {
+		if c.Destroyed() {
+			for _, ch := range ws {
+				close(ch)
+			}
+			delete(e.waiters, c)
+		}
+	}
+	e.pruneAt = 2 * len(e.snapshots)
+	if e.pruneAt < minPruneSize {
+		e.pruneAt = minPruneSize
+	}
+}
+
 // Acquire blocks until c's subtree has limit budget, then returns a
 // charge function the caller must invoke with the work's actual duration
 // when done (typically via defer with a start timestamp). Work on
 // unlimited containers is admitted immediately.
 func (e *Enforcer) Acquire(c *rc.Container) (charge func(actual time.Duration)) {
+	charge, _, _ = e.acquire(c, -1)
+	return charge
+}
+
+// AcquireFor is Acquire with a bounded wait: it admits c within maxWait
+// of clock time, or gives up and reports ok=false with no charge
+// function. maxWait 0 is a try-acquire (shed immediately when over
+// budget); maxWait < 0 waits indefinitely, like Acquire.
+func (e *Enforcer) AcquireFor(c *rc.Container, maxWait time.Duration) (charge func(actual time.Duration), ok bool) {
+	charge, _, ok = e.acquire(c, maxWait)
+	return charge, ok
+}
+
+// acquire reports, besides the charge function and admission, whether
+// the caller actually blocked for budget (waited) — distinguishing a
+// genuinely delayed admission from clock noise between two Now reads.
+func (e *Enforcer) acquire(c *rc.Container, maxWait time.Duration) (charge func(actual time.Duration), waited, ok bool) {
+	var start time.Time
+	started := false
 	for {
 		e.mu.Lock()
 		now := e.clock.Now()
+		if !started {
+			start, started = now, true
+		}
+		e.maybePruneLocked()
 		blocked := e.overLimitLocked(c, now)
 		if blocked == nil {
 			e.mu.Unlock()
 			break
 		}
+		if maxWait >= 0 && now.Sub(start) >= maxWait {
+			e.mu.Unlock()
+			return nil, waited, false
+		}
+		waited = true
 		ch := make(chan struct{})
 		e.waiters[blocked] = append(e.waiters[blocked], ch)
 		wait := e.window - now.Sub(e.windowStart)
+		if maxWait >= 0 {
+			if rem := maxWait - now.Sub(start); rem < wait {
+				wait = rem
+			}
+		}
 		e.mu.Unlock()
 		// Wait for the window to roll (either by timer or by another
 		// acquirer rolling it first).
@@ -153,16 +244,46 @@ func (e *Enforcer) Acquire(c *rc.Container) (charge func(actual time.Duration)) 
 		case <-e.sleepCh(wait):
 		}
 	}
-	return func(actual time.Duration) {
-		if actual < 0 {
-			return
-		}
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		if !c.Destroyed() {
-			c.ChargeCPU(rc.UserCPU, sim.Duration(actual))
-		}
+	return func(actual time.Duration) { e.Charge(c, actual) }, waited, true
+}
+
+// Charge accounts actual CPU time to c and its ancestors under the
+// enforcer's lock. Negative charges and destroyed containers are
+// ignored — in-flight work may complete after its container is released.
+func (e *Enforcer) Charge(c *rc.Container, actual time.Duration) {
+	if actual < 0 {
+		return
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !c.Destroyed() {
+		c.ChargeCPU(rc.UserCPU, sim.Duration(actual))
+	}
+}
+
+// OverBudget reports whether c's subtree (any limited ancestor,
+// including c) has exhausted its limit budget for the current window,
+// without waiting. Destroyed containers are never over budget.
+func (e *Enforcer) OverBudget(c *rc.Container) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c.Destroyed() {
+		return false
+	}
+	return e.overLimitLocked(c, e.clock.Now()) != nil
+}
+
+// WindowRemaining returns the time left until the current enforcement
+// window rolls and exhausted budgets are restored — the natural
+// Retry-After for shed work.
+func (e *Enforcer) WindowRemaining() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rem := e.window - e.clock.Now().Sub(e.windowStart)
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
 }
 
 // Do brackets fn with Acquire and actual-time charging.

@@ -16,6 +16,9 @@
 //   - AlertMonitor / Watchdog — sockstat-style overload detection on the
 //     telemetry stream and the closed-loop reaction (attach with
 //     WithAlerts, or AttachAlerts + AttachWatchdog)
+//   - Runtime / Binder / AcceptPolicy — the real-runtime bridge: govern
+//     a live net/http server with containers (NewRuntime, cmd/rcserve,
+//     `rcbench -exp live`)
 //
 // # Quick start
 //
@@ -56,11 +59,21 @@
 // upcalls; a Client is Start* because its request loop begins
 // immediately.
 //
+// # Deprecation and removal schedule
+//
+// Facade symbols are never removed silently. A symbol slated for
+// removal first gains a Deprecated notice naming its replacement, stays
+// for two further tagged releases so downstream callers can migrate at
+// their own pace, and is then deleted. Currently deprecated (and
+// already unused inside this repository): NewSimWithCosts and NewSMPSim
+// — use NewSim with the WithCosts / WithCPUs options instead.
+//
 // See the examples/ directory for complete programs and cmd/rcbench for
 // the harness that regenerates every table and figure of the paper.
 package rescon
 
 import (
+	"context"
 	"time"
 
 	"rescon/internal/alert"
@@ -337,6 +350,93 @@ func NewEnforcer(window time.Duration) *Enforcer {
 	return rcruntime.New(nil, window)
 }
 
+// Runtime surface: govern a real net/http server with containers
+// (internal/rcruntime). The Runtime binds each request to a Container,
+// charges its wall-clock cost into the hierarchy, sheds over-budget
+// requests at the middleware (429) and over-budget or over-cap
+// connections at accept — the production counterpart of the simulated
+// kernel's Policing. See cmd/rcserve and `rcbench -exp live`.
+type (
+	// Runtime binds containers to goroutines serving real net/http load:
+	// Middleware charges and sheds requests, Listener polices accepts.
+	Runtime = rcruntime.Runtime
+	// RuntimeConfig configures a Runtime; validate with its Validate
+	// method, or let NewRuntime do it.
+	RuntimeConfig = rcruntime.Config
+	// RuntimeOption is a functional option for NewRuntime (WithClock,
+	// WithWindow, WithBinder, WithTelemetrySink).
+	RuntimeOption = rcruntime.Option
+	// RuntimeStats is a snapshot of a Runtime's request and connection
+	// counters.
+	RuntimeStats = rcruntime.Stats
+	// RuntimeClock abstracts time for the Runtime so tests and the live
+	// experiment can inject a deterministic clock.
+	RuntimeClock = rcruntime.Clock
+	// Binder resolves an incoming request to the Container that pays for
+	// it (§4.2 dynamic binding).
+	Binder = rcruntime.Binder
+	// BinderFunc adapts a function to a Binder.
+	BinderFunc = rcruntime.BinderFunc
+	// AcceptPolicy configures connection shedding at accept — the real
+	// analogue of the simulated kernel's Policing.
+	AcceptPolicy = rcruntime.AcceptPolicy
+	// RequestEvent is the telemetry record emitted per governed request.
+	RequestEvent = rcruntime.RequestEvent
+	// TelemetrySink receives RequestEvents from a Runtime.
+	TelemetrySink = rcruntime.TelemetrySink
+)
+
+// NoDelay, as a RuntimeConfig.MaxDelay, makes admission try-once: an
+// over-budget request is shed immediately instead of waiting for the
+// window to roll.
+const NoDelay = rcruntime.NoDelay
+
+// ErrBadConfig is wrapped by every RuntimeConfig validation failure.
+var ErrBadConfig = rcruntime.ErrBadConfig
+
+// NewRuntime validates cfg, applies opts, and returns a Runtime
+// governing real HTTP load with the configured container hierarchy.
+func NewRuntime(cfg RuntimeConfig, opts ...RuntimeOption) (*Runtime, error) {
+	return rcruntime.NewRuntime(cfg, opts...)
+}
+
+// MustNewRuntime is NewRuntime, panicking on error — for wiring known
+// at compile time.
+func MustNewRuntime(cfg RuntimeConfig, opts ...RuntimeOption) *Runtime {
+	return rcruntime.MustNewRuntime(cfg, opts...)
+}
+
+// WithClock injects the Runtime's time source (nil keeps the wall
+// clock).
+func WithClock(c RuntimeClock) RuntimeOption { return rcruntime.WithClock(c) }
+
+// WithWindow overrides the enforcement window.
+func WithWindow(w time.Duration) RuntimeOption { return rcruntime.WithWindow(w) }
+
+// WithBinder sets how requests resolve to containers (nil keeps
+// bind-to-root).
+func WithBinder(b Binder) RuntimeOption { return rcruntime.WithBinder(b) }
+
+// WithTelemetrySink streams per-request events to s (nil discards).
+func WithTelemetrySink(s TelemetrySink) RuntimeOption { return rcruntime.WithTelemetrySink(s) }
+
+// HeaderBinder binds requests by the named header to the matching
+// container in tenants, falling back to def (nil def means the
+// Runtime's root).
+func HeaderBinder(header string, tenants map[string]*Container, def *Container) Binder {
+	return rcruntime.HeaderBinder(header, tenants, def)
+}
+
+// RebindRequest re-binds an in-flight request to c (§4.2): the running
+// segment is charged to the old container and subsequent time accrues
+// to c. It reports false if the request carries no binding or c is
+// unusable.
+func RebindRequest(ctx context.Context, c *Container) bool { return rcruntime.Rebind(ctx, c) }
+
+// BoundContainer returns the container an in-flight request is
+// currently charged to, or nil outside a governed request.
+func BoundContainer(ctx context.Context) *Container { return rcruntime.Bound(ctx) }
+
 // Telemetry and structured tracing (internal/telemetry, internal/trace).
 type (
 	// Telemetry collects structured trace events, per-principal usage
@@ -522,14 +622,20 @@ func NewSim(mode Mode, seed int64, opts ...SimOption) *Sim {
 
 // NewSimWithCosts creates a simulation with a custom cost model.
 //
-// Deprecated: use NewSim(mode, seed, WithCosts(costs)).
+// Deprecated: use NewSim(mode, seed, WithCosts(costs)). All internal
+// callers have been migrated; per the removal schedule in the package
+// comment, this wrapper is removed two tagged releases after the one
+// that first carried this notice.
 func NewSimWithCosts(mode Mode, seed int64, costs CostModel) *Sim {
 	return NewSim(mode, seed, WithCosts(costs))
 }
 
 // NewSMPSim creates a simulation of a multiprocessor machine.
 //
-// Deprecated: use NewSim(mode, seed, WithCPUs(ncpus)).
+// Deprecated: use NewSim(mode, seed, WithCPUs(ncpus)). All internal
+// callers have been migrated; per the removal schedule in the package
+// comment, this wrapper is removed two tagged releases after the one
+// that first carried this notice.
 func NewSMPSim(mode Mode, seed int64, ncpus int) *Sim {
 	return NewSim(mode, seed, WithCPUs(ncpus))
 }

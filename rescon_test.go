@@ -1,7 +1,11 @@
 package rescon
 
 import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 func TestQuickstartFlow(t *testing.T) {
@@ -213,7 +217,7 @@ func TestFacadeConstructors(t *testing.T) {
 	if costs.PerRequestCost() <= 0 {
 		t.Fatal("bad default costs")
 	}
-	s := NewSimWithCosts(ModeLRP, 3, costs)
+	s := NewSim(ModeLRP, 3, WithCosts(costs))
 	if s.Kernel.Mode() != ModeLRP {
 		t.Fatal("mode not applied")
 	}
@@ -221,7 +225,7 @@ func TestFacadeConstructors(t *testing.T) {
 	if s.Now() != Time(Millisecond) {
 		t.Fatal("RunUntil did not advance")
 	}
-	smp := NewSMPSim(ModeRC, 3, 2)
+	smp := NewSim(ModeRC, 3, WithCPUs(2))
 	if smp.Kernel.NumCPUs() != 2 {
 		t.Fatal("SMP CPUs not applied")
 	}
@@ -234,4 +238,55 @@ func TestFacadeConstructors(t *testing.T) {
 		t.Fatal(err)
 	}
 	e.Do(c, func() {})
+}
+
+// TestRuntimeFacade drives the real-runtime bridge entirely through the
+// facade: configuration validation, tenant binding, per-request
+// charging, and the in-request Rebind/Bound helpers.
+func TestRuntimeFacade(t *testing.T) {
+	if _, err := NewRuntime(RuntimeConfig{}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("NewRuntime(zero) error = %v, want ErrBadConfig", err)
+	}
+	root, err := NewContainer(nil, FixedShare, "root", Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenant, err := NewContainer(root, FixedShare, "tenant", Attributes{Limit: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := MustNewRuntime(RuntimeConfig{Root: root, MaxDelay: NoDelay},
+		WithWindow(50*time.Millisecond),
+		WithBinder(HeaderBinder("X-RC-Tenant", map[string]*Container{"tenant": tenant}, nil)),
+		WithTelemetrySink(nil))
+	h := rt.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if BoundContainer(r.Context()) != tenant {
+			t.Error("request not bound to its tenant")
+		}
+		if !RebindRequest(r.Context(), root) {
+			t.Error("rebind to root refused")
+		}
+	}))
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("X-RC-Tenant", "tenant")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if st := rt.Stats(); st.Served != 1 {
+		t.Fatalf("stats %+v, want 1 served", st)
+	}
+}
+
+// TestDeprecatedConstructors keeps the deprecated wrappers working until
+// their scheduled removal (see the package comment); nothing else in the
+// repository calls them anymore.
+func TestDeprecatedConstructors(t *testing.T) {
+	if s := NewSimWithCosts(ModeLRP, 3, DefaultCosts()); s.Kernel.Mode() != ModeLRP {
+		t.Fatal("NewSimWithCosts mode not applied")
+	}
+	if smp := NewSMPSim(ModeRC, 3, 2); smp.Kernel.NumCPUs() != 2 {
+		t.Fatal("NewSMPSim CPUs not applied")
+	}
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-baseline bench-check chaos-smoke chaos-nightly scale-smoke scale-full live-smoke tier1 ci
+.PHONY: all build vet lint test race bench bench-baseline bench-check chaos-smoke chaos-nightly scale-smoke scale-full live-smoke livechaos-smoke livechaos-nightly tier1 ci
 
 all: ci
 
@@ -75,6 +75,20 @@ scale-full:
 live-smoke:
 	$(GO) run -race ./cmd/rcbench -exp live -quick -check
 
+# Survivability smoke: the same real server under live fault injection
+# (handler stalls, panics, connection resets) with the closed-loop
+# watchdog defending. -check re-runs both cells and enforces
+# byte-identical results, clamp-then-restore, zero drain leaks, and
+# defended goodput strictly above undefended.
+livechaos-smoke:
+	$(GO) run -race ./cmd/rcbench -exp livechaos -quick -check
+
+# Nightly live fuzz: seeded breaker/watchdog interaction scenarios on
+# the real middleware stack, hunting oscillation, starvation, ledger
+# drift and leaks. Failing seeds shrink to live-repro-<seed>.json.
+livechaos-nightly:
+	$(GO) run ./cmd/rcchaos -live -run 300 -seed $(CHAOS_NIGHTLY_SEED)
+
 tier1: build race
 
-ci: build lint race chaos-smoke
+ci: build lint race chaos-smoke livechaos-smoke

@@ -173,6 +173,23 @@ var runners = []runner{
 			res.OverheadNs)
 		return nil
 	}},
+	// livechaos is not part of -exp all either: the same real server as
+	// live, now under a seeded fault schedule (resets, stalls, panics)
+	// with the closed loop engaged — monitor, watchdog, breakers, drain.
+	// With -check it re-runs both cells and enforces byte-identical
+	// determinism, the defended-goodput win, clamp-then-restore, and a
+	// clean drain.
+	{"livechaos", false, func(opt experiments.Options) error {
+		res, err := experiments.LiveChaos(opt)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		if res.Deterministic {
+			fmt.Println("livechaos: double run byte-identical; defense, restore and drain invariants hold")
+		}
+		return nil
+	}},
 	{"chaos", true, func(opt experiments.Options) error {
 		// Short windows (-quick) run fewer scenarios; each scenario runs
 		// under all three kernel modes with the determinism double-run.

@@ -5,15 +5,23 @@
 // stream) and the determinism double-run, and — on failure — shrinks the
 // scenario to a minimal repro and writes it as JSON.
 //
+// With -live it fuzzes the real runtime's closed loop instead: seeded
+// tenant mixes and request-level fault schedules against the governed
+// net/http middleware stack (breakers, monitor, watchdog, drain) under
+// a virtual clock, hunting watchdog oscillation, starved victims,
+// accounting leaks and nondeterminism.
+//
 // Usage:
 //
-//	rcchaos -run 200 -seed 1            # 200 scenarios × 3 modes
-//	rcchaos -repro chaos-repro-42.json  # replay a shipped repro
+//	rcchaos -run 200 -seed 1                 # 200 scenarios × 3 modes
+//	rcchaos -live -run 500 -seed 1           # 500 live-runtime scenarios
+//	rcchaos -repro chaos-repro-42.json       # replay a shipped repro
+//	rcchaos -live -repro live-repro-42.json  # replay a live repro
 //
 // Exit status distinguishes failure kinds so CI and scripts can react:
 // 0 all runs clean, 1 invariant or alert violations, 2 usage or
 // configuration errors. Repro files land in -out (default ".") as
-// chaos-repro-<seed>-<mode>.json.
+// chaos-repro-<seed>-<mode>.json, or live-repro-<seed>.json with -live.
 package main
 
 import (
@@ -41,8 +49,10 @@ const (
 // Test seams: regression tests substitute these to exercise the exit-code
 // mapping without constructing a genuinely violating scenario.
 var (
-	runChecked = chaos.RunChecked
-	shrinkFn   = chaos.Shrink
+	runChecked     = chaos.RunChecked
+	shrinkFn       = chaos.Shrink
+	runLiveChecked = chaos.RunLiveChecked
+	shrinkLiveFn   = chaos.ShrinkLive
 )
 
 func main() {
@@ -62,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out     = fs.String("out", ".", "directory for repro files of failing scenarios")
 		workers = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel scenario runners (each scenario is internally serial)")
 		verbose = fs.Bool("v", false, "print every run, not just failures")
+		live    = fs.Bool("live", false, "fuzz the real runtime's closed loop (breakers, watchdog, drain) instead of the simulated kernel")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: rcchaos [flags]\n\nFlags:\n")
@@ -88,6 +99,9 @@ Exit status:
 	}
 
 	if *repro != "" {
+		if *live {
+			return replayLive(*repro, stdout, stderr)
+		}
 		return replay(*repro, stdout, stderr)
 	}
 
@@ -103,7 +117,34 @@ Exit status:
 		fmt.Fprintf(stderr, "rcchaos: -out %q is not an existing directory\n", *out)
 		return exitUsage
 	}
+	if *live {
+		return liveSweep(*runs, *seed, *out, *workers, *verbose, stdout, stderr)
+	}
 	return sweep(*runs, *seed, *out, *workers, *verbose, stdout, stderr)
+}
+
+// replayLive loads and re-runs a live repro file, printing its outcome.
+func replayLive(path string, stdout, stderr io.Writer) int {
+	sc, err := chaos.LoadLiveScenario(path)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitUsage
+	}
+	r, err := runLiveChecked(sc)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return exitUsage
+	}
+	fmt.Fprintf(stdout, "live seed %d: hash %016x, %d violation(s)\n",
+		sc.Seed, r.Hash, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintln(stdout, "  "+v)
+	}
+	if r.Failed() {
+		return exitViolation
+	}
+	fmt.Fprintln(stdout, "live repro ran clean (the failure it reproduced is fixed)")
+	return exitOK
 }
 
 // replay loads and re-runs a repro file, printing its outcome.
@@ -190,6 +231,76 @@ func sweep(runs int, seed uint64, out string, workers int, verbose bool, stdout,
 		return exitViolation
 	}
 	return exitOK
+}
+
+// liveCell is one live-scenario unit of a -live sweep.
+type liveCell struct {
+	sc  chaos.LiveScenario
+	res *chaos.LiveResult
+	err error
+}
+
+// liveSweep runs live scenarios seed..seed+runs-1, fanning cells across
+// workers. Each cell is an isolated runtime on its own virtual clock,
+// so parallelism never changes results; reporting stays in seed order.
+// Each failure is shrunk and written as a live repro.
+func liveSweep(runs int, seed uint64, out string, workers int, verbose bool, stdout, stderr io.Writer) int {
+	cells := make([]liveCell, runs)
+	for i := range cells {
+		cells[i] = liveCell{sc: chaos.GenerateLive(seed + uint64(i))}
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				cells[idx].res, cells[idx].err = runLiveChecked(cells[idx].sc)
+			}
+		}()
+	}
+	for idx := range cells {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+
+	failures := 0
+	for _, c := range cells {
+		switch {
+		case c.err != nil:
+			failures++
+			fmt.Fprintf(stderr, "live seed %d: ERROR: %v\n", c.sc.Seed, c.err)
+		case c.res.Failed():
+			failures++
+			fmt.Fprintf(stdout, "live seed %d: FAIL (%d violation(s))\n", c.sc.Seed, len(c.res.Violations))
+			fmt.Fprintln(stdout, "  "+c.res.Violations[0])
+			writeLiveRepro(c, out, stdout, stderr)
+		case verbose:
+			fmt.Fprintf(stdout, "live seed %d: ok (hash %016x, served %d, shed %d, wd %d/%d)\n",
+				c.sc.Seed, c.res.Hash, c.res.Served, c.res.Shed, c.res.Engagements, c.res.Restores)
+		}
+	}
+	fmt.Fprintf(stdout, "chaos: %d live scenario(s): %d failure(s)\n", runs, failures)
+	if failures > 0 {
+		return exitViolation
+	}
+	return exitOK
+}
+
+// writeLiveRepro shrinks a failing live cell and writes the minimal
+// scenario as an indented JSON repro file.
+func writeLiveRepro(c liveCell, out string, stdout, stderr io.Writer) {
+	class := chaos.Classify(c.res.Violations[0])
+	shrunk := shrinkLiveFn(c.sc, class)
+	path := filepath.Join(out, fmt.Sprintf("live-repro-%d.json", c.sc.Seed))
+	if err := shrunk.WriteFile(path); err != nil {
+		fmt.Fprintf(stderr, "  writing repro: %v\n", err)
+		return
+	}
+	fmt.Fprintf(stdout, "  shrunk to %d tenant(s), %d+%d round(s); repro: %s\n",
+		len(shrunk.Tenants), shrunk.HostileRounds, shrunk.CalmRounds, path)
 }
 
 // writeRepro shrinks a failing cell and writes the minimal scenario as

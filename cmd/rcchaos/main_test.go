@@ -86,6 +86,68 @@ func TestViolationsExitOne(t *testing.T) {
 	}
 }
 
+// stubLiveRun substitutes the live runner (and neuters the live
+// shrinker) for the duration of a test.
+func stubLiveRun(t *testing.T, fn func(chaos.LiveScenario) (*chaos.LiveResult, error)) {
+	t.Helper()
+	oldRun, oldShrink := runLiveChecked, shrinkLiveFn
+	runLiveChecked = fn
+	shrinkLiveFn = func(sc chaos.LiveScenario, class string) chaos.LiveScenario { return sc }
+	t.Cleanup(func() { runLiveChecked, shrinkLiveFn = oldRun, oldShrink })
+}
+
+func TestLiveViolationsExitOne(t *testing.T) {
+	stubLiveRun(t, func(sc chaos.LiveScenario) (*chaos.LiveResult, error) {
+		return &chaos.LiveResult{Scenario: sc, Violations: []string{
+			"live-oscillation: watchdog engaged 3 time(s) during the settled calm phase",
+		}}, nil
+	})
+
+	out := t.TempDir()
+	var stdout bytes.Buffer
+	if code := run([]string{"-live", "-run", "1", "-seed", "9", "-out", out}, &stdout, io.Discard); code != exitViolation {
+		t.Fatalf("live sweep with violations = %d, want %d\n%s", code, exitViolation, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "live-oscillation") {
+		t.Errorf("live sweep output does not name the failure:\n%s", stdout.String())
+	}
+
+	// Replay path: the written repro still fails under the stub.
+	repro := filepath.Join(out, "live-repro-9.json")
+	if code := run([]string{"-live", "-repro", repro}, io.Discard, io.Discard); code != exitViolation {
+		t.Fatalf("replaying a failing live repro = %d, want %d", code, exitViolation)
+	}
+}
+
+func TestLiveCleanRunsExitZero(t *testing.T) {
+	// Real runner, two scenarios end to end: the closed loop on the real
+	// middleware stack, double-run determinism included.
+	var stdout bytes.Buffer
+	if code := run([]string{"-live", "-run", "2", "-seed", "1", "-v", "-out", t.TempDir()}, &stdout, io.Discard); code != exitOK {
+		t.Fatalf("live sweep = %d, want %d\n%s", code, exitOK, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "2 live scenario(s): 0 failure(s)") {
+		t.Errorf("live sweep summary missing:\n%s", stdout.String())
+	}
+}
+
+func TestLiveReplayCleanRepro(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live-repro-1.json")
+	if err := chaos.GenerateLive(1).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	if code := run([]string{"-live", "-repro", path}, &stdout, io.Discard); code != exitOK {
+		t.Fatalf("replaying a clean live repro = %d, want %d\n%s", code, exitOK, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "live repro ran clean") {
+		t.Errorf("clean replay banner missing:\n%s", stdout.String())
+	}
+	if code := run([]string{"-live", "-repro", filepath.Join(t.TempDir(), "missing.json")}, io.Discard, io.Discard); code != exitUsage {
+		t.Fatal("missing live repro did not exit 2")
+	}
+}
+
 func TestCleanRunsExitZero(t *testing.T) {
 	stubRun(t, func(sc chaos.Scenario) (*chaos.Result, error) {
 		return &chaos.Result{}, nil

@@ -22,6 +22,11 @@
 // requests against its own listener (one well-behaved tenant, one
 // flooding tenant), prints the resulting stats, and exits — a smoke of
 // the governed path over real loopback TCP without an external client.
+//
+// SIGINT or SIGTERM triggers a graceful drain: accepts stop, new
+// requests are shed with 503 + Connection: close, in-flight requests
+// get -grace to finish, and the final counters (plus the drain report)
+// are written to stderr as JSON before the process exits.
 package main
 
 import (
@@ -34,15 +39,24 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"rescon/internal/rc"
 	"rescon/internal/rcruntime"
 	"rescon/internal/sim"
 )
+
+// signalNotify subscribes ch to the shutdown signals; a package variable
+// so tests can deliver a synthetic signal instead of killing the test
+// process.
+var signalNotify = func(ch chan<- os.Signal) {
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+}
 
 // tenantFlags collects repeated -tenant name=limit declarations.
 type tenantFlags map[string]float64
@@ -78,27 +92,32 @@ func (t tenantFlags) Set(s string) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "rcserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 // run is the testable body of the command: parse flags, build the
-// governed server, and either serve until the process is killed or (with
-// -demo) drive a self-test burst and return.
-func run(argv []string, out io.Writer) error {
+// governed server, and either serve until a shutdown signal drains it or
+// (with -demo) drive a self-test burst and return. Final stats and the
+// drain report go to errOut as JSON, so they survive stdout pipelines.
+func run(argv []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("rcserve", flag.ContinueOnError)
 	fs.SetOutput(out)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	window := fs.Duration("window", 100*time.Millisecond, "enforcement window")
 	maxDelay := fs.Duration("maxdelay", 0, "max admission delay before a 429 (0 = one window)")
 	maxConns := fs.Int("maxconns", 0, "refuse accepts beyond this many open connections (0 = unlimited)")
+	grace := fs.Duration("grace", 5*time.Second, "in-flight grace period for graceful shutdown")
 	demo := fs.Bool("demo", false, "drive a self-test burst against the server and exit")
 	tenants := tenantFlags{}
 	fs.Var(tenants, "tenant", "declare a tenant as name=limit (repeatable)")
 	if err := fs.Parse(argv); err != nil {
 		return err
+	}
+	if *grace < 0 {
+		return fmt.Errorf("negative -grace %v", *grace)
 	}
 
 	root := rc.MustNew(nil, rc.FixedShare, "rcserve", rc.Attributes{})
@@ -148,10 +167,57 @@ func run(argv []string, out io.Writer) error {
 		}
 		return err
 	}
-	if err := srv.Serve(rt.Listener(ln)); !errors.Is(err, http.ErrServerClosed) {
-		return err
+
+	// Serve until a shutdown signal arrives, then drain: stop accepting,
+	// shed new requests with 503 + Connection: close, wait out the grace
+	// period for in-flight work, and report what the run did.
+	sigCh := make(chan os.Signal, 1)
+	signalNotify(sigCh)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(rt.Listener(ln)) }()
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case sig := <-sigCh:
+		fmt.Fprintf(errOut, "rcserve: %v: draining (grace %v)\n", sig, *grace)
+		rep, drainErr := rt.Shutdown(*grace)
+		_ = srv.Close()
+		<-serveErr // Serve returns once Shutdown closes the listener
+		writeFinalStats(errOut, rt, root, bound, rep)
+		if drainErr != nil {
+			return drainErr
+		}
+		return nil
 	}
-	return nil
+}
+
+// writeFinalStats emits the runtime's closing books — request counters,
+// per-tenant CPU, and the drain report — as one JSON object on errOut.
+func writeFinalStats(errOut io.Writer, rt *rcruntime.Runtime, root *rc.Container, bound map[string]*rc.Container, rep rcruntime.DrainReport) {
+	st := rt.Stats()
+	usage := map[string]float64{"root": float64(root.Usage().CPU()) / float64(sim.Second)}
+	for name, c := range bound {
+		usage[name] = float64(c.Usage().CPU()) / float64(sim.Second)
+	}
+	_ = json.NewEncoder(errOut).Encode(map[string]any{
+		"served":     st.Served,
+		"shed":       st.Shed,
+		"drain_shed": st.DrainShed,
+		"panics":     st.Panics,
+		"delayed":    st.Delayed,
+		"accepted":   st.Accepted,
+		"refused":    st.Refused,
+		"cpu_s":      usage,
+		"drain": map[string]any{
+			"waited":          rep.Waited.String(),
+			"leaked_requests": rep.LeakedRequests,
+			"open_conns":      rep.OpenConns,
+			"clean":           rep.Clean,
+		},
+	})
 }
 
 // requestBinder resolves the tenant from the X-RC-Tenant header, falling

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"os"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestTenantFlagParsing(t *testing.T) {
@@ -29,9 +32,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	for _, argv := range [][]string{
 		{"-tenant", "broken"},
 		{"-window", "-1s"},
+		{"-grace", "-1s"},
 		{"-addr", "127.0.0.1:not-a-port", "-demo"},
 	} {
-		if err := run(argv, &strings.Builder{}); err == nil {
+		if err := run(argv, &strings.Builder{}, &strings.Builder{}); err == nil {
 			t.Fatalf("run(%v) succeeded, want error", argv)
 		}
 	}
@@ -47,7 +51,7 @@ func TestRunDemo(t *testing.T) {
 		"-window", "50ms",
 		"-tenant", "demo=0.1",
 		"-demo",
-	}, &out)
+	}, &out, &strings.Builder{})
 	if err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
 	}
@@ -69,5 +73,60 @@ func TestRunDemo(t *testing.T) {
 	}
 	if !strings.Contains(got, `"shed"`) {
 		t.Fatalf("stats JSON missing from demo output:\n%s", got)
+	}
+}
+
+// syncBuilder is a strings.Builder safe for the writes run()'s serving
+// goroutines may interleave with the test's reads.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunSignalDrain delivers a synthetic SIGTERM through the
+// signalNotify seam and checks that run() drains gracefully: it returns
+// nil and writes the final stats JSON (with a clean drain report) to
+// the error stream.
+func TestRunSignalDrain(t *testing.T) {
+	orig := signalNotify
+	defer func() { signalNotify = orig }()
+	signalNotify = func(ch chan<- os.Signal) {
+		go func() {
+			time.Sleep(50 * time.Millisecond) // let Serve start
+			ch <- syscallSIGTERM()
+		}()
+	}
+
+	var out, errOut syncBuilder
+	err := run([]string{
+		"-addr", "127.0.0.1:0",
+		"-window", "50ms",
+		"-grace", "1s",
+		"-tenant", "demo=0.5",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr:\n%s", err, errOut.String())
+	}
+	got := errOut.String()
+	if !strings.Contains(got, "draining (grace 1s)") {
+		t.Fatalf("missing drain banner on stderr:\n%s", got)
+	}
+	if !strings.Contains(got, `"clean":true`) {
+		t.Fatalf("final stats JSON missing clean drain report:\n%s", got)
+	}
+	if !strings.Contains(got, `"drain_shed"`) || !strings.Contains(got, `"served"`) {
+		t.Fatalf("final stats JSON incomplete:\n%s", got)
 	}
 }

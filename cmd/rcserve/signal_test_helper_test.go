@@ -1,0 +1,10 @@
+package main
+
+import (
+	"os"
+	"syscall"
+)
+
+// syscallSIGTERM returns the signal the drain test injects; isolated in
+// a helper so the test body stays platform-neutral to read.
+func syscallSIGTERM() os.Signal { return syscall.SIGTERM }

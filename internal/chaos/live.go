@@ -1,0 +1,728 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"rescon/internal/alert"
+	"rescon/internal/fault"
+	"rescon/internal/rc"
+	"rescon/internal/rcruntime"
+	"rescon/internal/sim"
+)
+
+// The live harness fuzzes the *runtime* closed loop — circuit breakers,
+// monitor check battery, watchdog clamp/restore — the way the classic
+// harness fuzzes the simulated kernel. A LiveScenario draws a tenant
+// mix (one well-behaved population plus hostile hogs), a request-level
+// fault schedule (handler stalls and panics), and the defense knobs;
+// RunLive drives rcruntime.Middleware directly through
+// httptest.ResponseRecorder on a lockstep virtual clock — no sockets,
+// no goroutines — so every run is a pure function of the scenario and
+// a sweep is cheap enough to burn thousands of seeds.
+//
+// The invariants it hunts are the failure modes of a self-defending
+// server:
+//
+//   - live-conservation: every request the driver issued must appear in
+//     exactly one of the runtime's books (served, shed, breaker,
+//     drain, panic), and the telemetry stream must agree with Stats.
+//   - live-leak: after the end-of-run drain, the in-flight gauge must
+//     be zero and the drain report clean.
+//   - live-oscillation: once the hostile phase ends and the calm phase
+//     has absorbed the alert hysteresis, the watchdog must not engage
+//     again, and every clamp must have been restored by the end — a
+//     watchdog that flips policy against a healthy server, or leaves a
+//     tenant clamped forever, is itself the outage.
+//   - live-starvation: a well-behaved unlimited tenant must never be
+//     refused admission entirely — the defenses may slow the hostile
+//     tenant, never starve the victim they exist to protect.
+//   - determinism: RunLiveChecked re-runs the scenario and compares the
+//     full digests (counters, alert stream, violations).
+
+// Live generator fork labels, continuing scenario.go's sequence.
+const (
+	labelLiveTenants = 5
+	labelLiveFaults  = 6
+	labelLiveDefense = 7
+)
+
+// liveOscillationGrace is how many calm rounds the harness grants the
+// alert pipeline to absorb in-flight criticals before a fresh watchdog
+// engagement counts as oscillation. It covers the raise hysteresis plus
+// one flap window of the trailing hostile ticks.
+const liveOscillationGrace = 12
+
+// liveShrinkMinRounds floors the round counts during shrinking: below a
+// handful of rounds the enforcement window never rolls and the
+// scenario stops meaning anything.
+const (
+	liveShrinkMinHostile = 2
+	liveShrinkMinCalm    = 8
+)
+
+// LiveTenantSpec is one tenant population of a live scenario. Calm
+// tenants issue in every round (they are the victims the defenses must
+// protect); hostile tenants issue only during the hostile phase.
+type LiveTenantSpec struct {
+	Name string `json:"name"`
+	// Limit is the tenant's CPU limit as a fraction of the window
+	// (0 = unlimited; unlimited hogs are what the watchdog must clamp).
+	Limit float64 `json:"limit,omitempty"`
+	// Requests per round and the virtual CPU cost of each.
+	Requests int          `json:"requests"`
+	Cost     sim.Duration `json:"cost"`
+	// Calm marks the well-behaved population.
+	Calm bool `json:"calm,omitempty"`
+}
+
+// LiveFaultSpec is the request-level slice of fault.LiveConfig — the
+// classes that exist without a real socket. Connection resets and read
+// stalls need the wire; the in-process driver draws only fates that
+// fire inside the handler stack.
+type LiveFaultSpec struct {
+	StallRate float64      `json:"stall_rate,omitempty"`
+	StallFor  sim.Duration `json:"stall_for,omitempty"`
+	PanicRate float64      `json:"panic_rate,omitempty"`
+}
+
+// LiveBreakerSpec enables per-tenant circuit breakers.
+type LiveBreakerSpec struct {
+	OpenAfter int `json:"open_after"`
+}
+
+// LiveWatchdogSpec enables the monitor + watchdog closed loop.
+type LiveWatchdogSpec struct {
+	ClampLimit      float64 `json:"clamp_limit"`
+	BackoffTicks    int     `json:"backoff_ticks"`
+	MaxBackoffTicks int     `json:"max_backoff_ticks"`
+	// ShedCrit is the monitor's critical sheds-per-tick threshold,
+	// sized by the generator to the hog population so the loop engages.
+	ShedCrit float64 `json:"shed_crit"`
+	// Clear is the alert hysteresis override; the generator keeps it
+	// small so the calm phase provably outlasts the worst-case restore.
+	Clear int `json:"clear"`
+}
+
+// LiveScenario is one seeded live-runtime scenario: the governed
+// middleware stack under a tenant mix, fault schedule and defense
+// configuration, all drawn from Seed.
+type LiveScenario struct {
+	Seed          uint64            `json:"seed"`
+	Window        sim.Duration      `json:"window"`
+	HostileRounds int               `json:"hostile_rounds"`
+	CalmRounds    int               `json:"calm_rounds"`
+	Think         sim.Duration      `json:"think"`
+	Grace         sim.Duration      `json:"grace"`
+	Tenants       []LiveTenantSpec  `json:"tenants"`
+	Faults        LiveFaultSpec     `json:"faults"`
+	Breakers      *LiveBreakerSpec  `json:"breakers,omitempty"`
+	Watchdog      *LiveWatchdogSpec `json:"watchdog,omitempty"`
+}
+
+// Validate rejects specs the runner cannot build.
+func (sc LiveScenario) Validate() error {
+	if sc.Window <= 0 {
+		return fmt.Errorf("chaos: live scenario window %v must be positive", sc.Window)
+	}
+	if sc.HostileRounds < 0 || sc.CalmRounds < 0 || sc.HostileRounds+sc.CalmRounds == 0 {
+		return fmt.Errorf("chaos: live scenario needs rounds (hostile %d, calm %d)", sc.HostileRounds, sc.CalmRounds)
+	}
+	if sc.Grace < 0 {
+		return fmt.Errorf("chaos: negative grace %v", sc.Grace)
+	}
+	if len(sc.Tenants) == 0 {
+		return fmt.Errorf("chaos: live scenario has no tenants")
+	}
+	seen := make(map[string]bool, len(sc.Tenants))
+	for i, t := range sc.Tenants {
+		if t.Name == "" || seen[t.Name] {
+			return fmt.Errorf("chaos: tenant %d: empty or duplicate name %q", i, t.Name)
+		}
+		seen[t.Name] = true
+		if t.Requests < 0 || t.Cost < 0 || t.Limit < 0 || t.Limit > 1 {
+			return fmt.Errorf("chaos: tenant %q: bad requests/cost/limit (%d, %v, %g)", t.Name, t.Requests, t.Cost, t.Limit)
+		}
+	}
+	for _, r := range []float64{sc.Faults.StallRate, sc.Faults.PanicRate} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("chaos: fault rate %g outside [0,1]", r)
+		}
+	}
+	if sc.Breakers != nil && sc.Breakers.OpenAfter < 1 {
+		return fmt.Errorf("chaos: breaker open-after %d must be >= 1", sc.Breakers.OpenAfter)
+	}
+	if w := sc.Watchdog; w != nil {
+		if w.ClampLimit <= 0 || w.ClampLimit > 1 {
+			return fmt.Errorf("chaos: watchdog clamp limit %g outside (0,1]", w.ClampLimit)
+		}
+		if w.BackoffTicks < 1 || w.MaxBackoffTicks < w.BackoffTicks {
+			return fmt.Errorf("chaos: watchdog backoff %d/%d invalid", w.BackoffTicks, w.MaxBackoffTicks)
+		}
+	}
+	return nil
+}
+
+// GenerateLive draws a live scenario from a seed. The shape is always
+// one unlimited well-behaved tenant (the victim the starvation
+// invariant watches) plus 1–3 hogs; faults and each defense layer are
+// enabled independently so the sweep covers undefended, breaker-only,
+// watchdog-only and fully defended stacks.
+func GenerateLive(seed uint64) LiveScenario {
+	top := sim.NewRNG(int64(seed))
+	rt := top.Fork(labelLiveTenants)
+	sc := LiveScenario{
+		Seed:          seed,
+		Window:        rt.Uniform(50*sim.Millisecond, 150*sim.Millisecond),
+		HostileRounds: 8 + rt.Intn(17),
+		CalmRounds:    44 + rt.Intn(13),
+		Think:         rt.Uniform(sim.Millisecond/2, 2*sim.Millisecond),
+		Grace:         sim.Second,
+	}
+	sc.Tenants = append(sc.Tenants, LiveTenantSpec{
+		Name:     "good",
+		Requests: 2 + rt.Intn(5),
+		Cost:     rt.Uniform(sim.Millisecond, 3*sim.Millisecond),
+		Calm:     true,
+	})
+	hogReqs := 0
+	for i, n := 0, 1+rt.Intn(3); i < n; i++ {
+		t := LiveTenantSpec{
+			Name:     fmt.Sprintf("hog%d", i),
+			Requests: 4 + rt.Intn(13),
+			Cost:     rt.Uniform(4*sim.Millisecond, 15*sim.Millisecond),
+		}
+		if rt.Float64() < 0.3 {
+			// A pre-limited hog: the enforcer sheds it without watchdog help.
+			t.Limit = 0.2 + 0.3*rt.Float64()
+		}
+		hogReqs += t.Requests
+		sc.Tenants = append(sc.Tenants, t)
+	}
+
+	rf := top.Fork(labelLiveFaults)
+	if rf.Float64() < 0.5 {
+		sc.Faults.StallRate = 0.15 * rf.Float64()
+		sc.Faults.StallFor = rf.Uniform(5*sim.Millisecond, 30*sim.Millisecond)
+	}
+	if rf.Float64() < 0.5 {
+		sc.Faults.PanicRate = 0.08 * rf.Float64()
+	}
+
+	rd := top.Fork(labelLiveDefense)
+	if rd.Float64() < 0.8 {
+		sc.Breakers = &LiveBreakerSpec{OpenAfter: 2 + rd.Intn(5)}
+	}
+	if rd.Float64() < 0.8 {
+		backoff := 2 + rd.Intn(3)
+		sc.Watchdog = &LiveWatchdogSpec{
+			ClampLimit:      0.05 + 0.25*rd.Float64(),
+			BackoffTicks:    backoff,
+			MaxBackoffTicks: 4 * backoff,
+			// Half the hog population's per-tick refusals sustain
+			// criticality through the hostile phase; Clear=2 bounds the
+			// worst-case restore (clear + flap penalty + hold-down +
+			// backoff) well inside the generated calm phase.
+			ShedCrit: maxf(2, float64(hogReqs)/2),
+			Clear:    2,
+		}
+	}
+	return sc
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// LiveTenantResult is one tenant's client-side ledger: everything the
+// driver issued for it and where each request ended up.
+type LiveTenantResult struct {
+	Issued, Served, Shed, Panicked uint64
+}
+
+// LiveResult is the outcome of one live scenario run.
+type LiveResult struct {
+	Scenario   LiveScenario
+	Violations []string
+	Hash       uint64
+
+	Tenants               map[string]LiveTenantResult
+	Served, Shed          uint64
+	BreakerShed, Panics   uint64
+	Engagements, Restores uint64
+	Faults                fault.LiveStats
+	Elapsed               time.Duration
+}
+
+// Failed reports whether any invariant was violated.
+func (r *LiveResult) Failed() bool { return len(r.Violations) > 0 }
+
+// FailsWith reports whether any violation belongs to the given class.
+func (r *LiveResult) FailsWith(class string) bool {
+	for _, v := range r.Violations {
+		if Classify(v) == class {
+			return true
+		}
+	}
+	return false
+}
+
+// liveSink tallies RequestEvents by cause for the conservation check.
+type liveSink struct {
+	mu                                   sync.Mutex
+	served, shed, breaker, drain, panics uint64
+}
+
+func (s *liveSink) RecordRequest(ev rcruntime.RequestEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch ev.Cause {
+	case rcruntime.CauseShed:
+		s.shed++
+	case rcruntime.CauseBreaker:
+		s.breaker++
+	case rcruntime.CauseDrain:
+		s.drain++
+	case rcruntime.CausePanic:
+		s.panics++
+		s.served++
+	default:
+		s.served++
+	}
+}
+
+// liveClock is the injected rcruntime.Clock: Sleep advances virtual
+// time instead of waiting, so a whole scenario runs in microseconds of
+// wall clock and every timestamp is deterministic.
+type liveClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *liveClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *liveClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// RunLive executes the scenario once against the real middleware stack
+// and returns its result. An error means the scenario could not be
+// built — distinct from a clean run that found violations.
+func RunLive(sc LiveScenario) (*LiveResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	clk := &liveClock{}
+	inj := fault.NewLive(int64(sc.Seed), fault.LiveConfig{
+		HandlerStallRate: sc.Faults.StallRate,
+		HandlerStallFor:  time.Duration(sc.Faults.StallFor),
+		PanicRate:        sc.Faults.PanicRate,
+	}, clk)
+	sink := &liveSink{}
+
+	root := rc.MustNew(nil, rc.FixedShare, "livefuzz", rc.Attributes{})
+	bound := make(map[string]*rc.Container, len(sc.Tenants))
+	var hogs []*rc.Container
+	for _, t := range sc.Tenants {
+		c, err := rc.New(root, rc.FixedShare, t.Name, rc.Attributes{Limit: t.Limit})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: tenant %q: %w", t.Name, err)
+		}
+		bound[t.Name] = c
+		if !t.Calm {
+			hogs = append(hogs, c)
+		}
+	}
+
+	opts := []rcruntime.Option{
+		rcruntime.WithClock(clk),
+		rcruntime.WithTelemetrySink(sink),
+		rcruntime.WithBinder(rcruntime.HeaderBinder("X-RC-Tenant", bound, nil)),
+	}
+	if sc.Breakers != nil {
+		opts = append(opts, rcruntime.WithBreakers(rcruntime.BreakerConfig{
+			OpenAfter: sc.Breakers.OpenAfter,
+		}))
+	}
+	rt, err := rcruntime.NewRuntime(rcruntime.Config{
+		Root:     root,
+		Window:   time.Duration(sc.Window),
+		MaxDelay: rcruntime.NoDelay,
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	var mon *rcruntime.Monitor
+	var wd *rcruntime.Watchdog
+	if sc.Watchdog != nil {
+		am := alert.New()
+		am.SetRun(int64(sc.Seed), "livefuzz", sc.Window)
+		mon, err = rcruntime.AttachMonitor(rt, am, rcruntime.MonitorConfig{
+			ShedWarn: sc.Watchdog.ShedCrit / 2,
+			ShedCrit: sc.Watchdog.ShedCrit,
+			Clear:    sc.Watchdog.Clear,
+			Tenants:  hogs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wd = rcruntime.AttachWatchdog(mon, rcruntime.WatchdogConfig{
+			ClampLimit:      sc.Watchdog.ClampLimit,
+			BackoffTicks:    sc.Watchdog.BackoffTicks,
+			MaxBackoffTicks: sc.Watchdog.MaxBackoffTicks,
+			Clampable:       hogs,
+		})
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/work", func(w http.ResponseWriter, r *http.Request) {
+		if cost, err := time.ParseDuration(r.Header.Get("X-Cost")); err == nil && cost > 0 {
+			clk.Sleep(cost) // burn virtual CPU
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	handler := rt.Middleware(inj.Middleware(mux))
+
+	res := &LiveResult{Scenario: sc, Tenants: make(map[string]LiveTenantResult, len(sc.Tenants))}
+	violate := func(format string, args ...any) {
+		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+	}
+
+	issue := func(t LiveTenantSpec) {
+		req := httptest.NewRequest("GET", "http://livefuzz/work", nil)
+		req.Header.Set("X-RC-Tenant", t.Name)
+		req.Header.Set("X-Cost", time.Duration(t.Cost).String())
+		rr := httptest.NewRecorder()
+		handler.ServeHTTP(rr, req)
+		led := res.Tenants[t.Name]
+		led.Issued++
+		switch rr.Code {
+		case http.StatusOK:
+			led.Served++
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			led.Shed++
+		case http.StatusInternalServerError:
+			led.Panicked++
+		default:
+			violate("live-conservation: tenant %q got unexpected status %d", t.Name, rr.Code)
+		}
+		res.Tenants[t.Name] = led
+	}
+
+	start := clk.Now()
+	round := func(hostile bool) {
+		for _, t := range sc.Tenants {
+			if !hostile && !t.Calm {
+				continue
+			}
+			for i := 0; i < t.Requests; i++ {
+				issue(t)
+			}
+		}
+		clk.Sleep(time.Duration(sc.Think))
+		if mon != nil {
+			mon.Tick()
+		}
+	}
+	for r := 0; r < sc.HostileRounds; r++ {
+		round(true)
+	}
+	// The oscillation invariant: once the calm phase has absorbed the
+	// hysteresis carried over from the hostile ticks, no new engagement
+	// may begin — there is nothing left to defend against.
+	var settled uint64
+	for r := 0; r < sc.CalmRounds; r++ {
+		round(false)
+		if wd != nil && r == liveOscillationGrace {
+			settled = wd.Engagements()
+		}
+	}
+	res.Elapsed = clk.Now().Sub(start)
+	if wd != nil && sc.CalmRounds > liveOscillationGrace {
+		if late := wd.Engagements() - settled; late > 0 {
+			violate("live-oscillation: watchdog engaged %d time(s) during the settled calm phase", late)
+		}
+	}
+
+	rep := rt.Drain(time.Duration(sc.Grace))
+	s := rt.Stats()
+	if !rep.Clean || rep.LeakedRequests != 0 || s.InflightRequests != 0 {
+		violate("live-leak: drain clean=%t leaked=%d inflight=%d", rep.Clean, rep.LeakedRequests, s.InflightRequests)
+	}
+
+	// Conservation, both directions: the driver's ledger against the
+	// runtime's books, and the telemetry stream against Stats.
+	var issued, served, shed, panicked uint64
+	for _, led := range res.Tenants {
+		issued += led.Issued
+		served += led.Served
+		shed += led.Shed
+		panicked += led.Panicked
+	}
+	if served != s.Served-s.Panics || panicked != s.Panics || shed != s.Shed+s.BreakerShed+s.DrainShed {
+		violate("live-conservation: client ledger served=%d panicked=%d shed=%d vs stats served=%d panics=%d shed=%d+%d+%d",
+			served, panicked, shed, s.Served, s.Panics, s.Shed, s.BreakerShed, s.DrainShed)
+	}
+	if issued != served+shed+panicked {
+		violate("live-conservation: issued %d != served %d + shed %d + panicked %d", issued, served, shed, panicked)
+	}
+	sink.mu.Lock()
+	conserve := sink.served == s.Served && sink.shed == s.Shed &&
+		sink.breaker == s.BreakerShed && sink.drain == s.DrainShed && sink.panics == s.Panics
+	sinkLine := fmt.Sprintf("served=%d shed=%d breaker=%d drain=%d panics=%d",
+		sink.served, sink.shed, sink.breaker, sink.drain, sink.panics)
+	sink.mu.Unlock()
+	if !conserve {
+		violate("live-conservation: telemetry sink %s vs stats served=%d shed=%d breaker=%d drain=%d panics=%d",
+			sinkLine, s.Served, s.Shed, s.BreakerShed, s.DrainShed, s.Panics)
+	}
+
+	// Starvation: a calm unlimited tenant that issued work and never got
+	// a single request past admission was starved by the defenses.
+	for _, t := range sc.Tenants {
+		if !t.Calm || t.Limit != 0 {
+			continue
+		}
+		led := res.Tenants[t.Name]
+		if led.Issued > 0 && led.Served+led.Panicked == 0 {
+			violate("live-starvation: unlimited calm tenant %q issued %d request(s), none admitted", t.Name, led.Issued)
+		}
+	}
+
+	var am *alert.Monitor
+	if wd != nil {
+		res.Engagements, res.Restores = wd.Engagements(), wd.Restores()
+		if wd.Engaged() || res.Restores != res.Engagements {
+			violate("live-oscillation: clamp never released: engaged=%t engagements=%d restores=%d",
+				wd.Engaged(), res.Engagements, res.Restores)
+		}
+		am = mon.Alert()
+		if msg := am.SelfCheck(); msg != "" {
+			violate("missed-detection: %s", msg)
+		}
+	}
+
+	res.Served, res.Shed = s.Served, s.Shed
+	res.BreakerShed, res.Panics = s.BreakerShed, s.Panics
+	res.Faults = inj.Stats()
+	res.Hash = hashLiveRun(am, res, s)
+	return res, nil
+}
+
+// hashLiveRun digests the run's observable state — the alert stream,
+// every counter, the per-tenant ledgers and the violations — for the
+// determinism double-run.
+func hashLiveRun(am *alert.Monitor, res *LiveResult, s rcruntime.Stats) uint64 {
+	h := fnv.New64a()
+	if am != nil {
+		_ = am.WriteJSONL(h)
+	}
+	fmt.Fprintf(h, "served=%d shed=%d breaker=%d drain=%d panics=%d refused=%d delayed=%d wd=%d/%d faults=%v elapsed=%d\n",
+		s.Served, s.Shed, s.BreakerShed, s.DrainShed, s.Panics, s.Refused, s.Delayed,
+		res.Engagements, res.Restores, res.Faults, int64(res.Elapsed))
+	names := make([]string, 0, len(res.Tenants))
+	for name := range res.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		led := res.Tenants[name]
+		fmt.Fprintf(h, "%s issued=%d served=%d shed=%d panicked=%d\n", name, led.Issued, led.Served, led.Shed, led.Panicked)
+	}
+	sorted := append([]string(nil), res.Violations...)
+	sort.Strings(sorted)
+	for _, v := range sorted {
+		fmt.Fprintln(h, v)
+	}
+	return h.Sum64()
+}
+
+// RunLiveChecked runs the scenario twice from scratch and adds a
+// determinism violation if the digests differ. The first run's result
+// is returned.
+func RunLiveChecked(sc LiveScenario) (*LiveResult, error) {
+	r1, err := RunLive(sc)
+	if err != nil {
+		return nil, err
+	}
+	r2, err := RunLive(sc)
+	if err != nil {
+		return nil, err
+	}
+	if r1.Hash != r2.Hash {
+		r1.Violations = append(r1.Violations,
+			fmt.Sprintf("live determinism: run hashes differ: %016x vs %016x", r1.Hash, r2.Hash))
+	}
+	return r1, nil
+}
+
+// ShrinkLive greedily minimizes a failing live scenario while
+// preserving its failure class: it drops hostile tenants, halves
+// request counts and round counts, strips the fault schedule and each
+// defense layer, keeping every candidate that still fails the same
+// way. Determinism failures re-run candidates through RunLiveChecked.
+func ShrinkLive(sc LiveScenario, class string) LiveScenario {
+	runs := 0
+	fails := func(c LiveScenario) bool {
+		if runs >= shrinkMaxRuns {
+			return false
+		}
+		runs++
+		var r *LiveResult
+		var err error
+		if class == "determinism" {
+			r, err = RunLiveChecked(c)
+		} else {
+			r, err = RunLive(c)
+		}
+		return err == nil && r.FailsWith(class)
+	}
+
+	for reduced := true; reduced; {
+		reduced = false
+		// Drop hostile tenants, last-to-first; the calm victim stays.
+		for i := len(sc.Tenants) - 1; i >= 0; i-- {
+			if sc.Tenants[i].Calm {
+				continue
+			}
+			cand := sc
+			cand.Tenants = append(append([]LiveTenantSpec(nil), sc.Tenants[:i]...), sc.Tenants[i+1:]...)
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		// Halve request counts.
+		for i := range sc.Tenants {
+			if sc.Tenants[i].Requests <= 1 {
+				continue
+			}
+			cand := sc
+			cand.Tenants = append([]LiveTenantSpec(nil), sc.Tenants...)
+			cand.Tenants[i].Requests /= 2
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		// Halve the phases.
+		if sc.HostileRounds/2 >= liveShrinkMinHostile {
+			cand := sc
+			cand.HostileRounds = sc.HostileRounds / 2
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		if sc.CalmRounds/2 >= liveShrinkMinCalm {
+			cand := sc
+			cand.CalmRounds = sc.CalmRounds / 2
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		// Strip the fault schedule and each defense layer.
+		if sc.Faults != (LiveFaultSpec{}) {
+			cand := sc
+			cand.Faults = LiveFaultSpec{}
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		if sc.Breakers != nil {
+			cand := sc
+			cand.Breakers = nil
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		if sc.Watchdog != nil {
+			cand := sc
+			cand.Watchdog = nil
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+	}
+	return sc
+}
+
+// WriteFile writes the live scenario as an indented JSON repro file.
+func (sc LiveScenario) WriteFile(path string) error {
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadLiveScenario reads and validates a repro file written by
+// LiveScenario.WriteFile.
+func LoadLiveScenario(path string) (LiveScenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return LiveScenario{}, fmt.Errorf("chaos: reading live repro: %w", err)
+	}
+	var sc LiveScenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return LiveScenario{}, fmt.Errorf("chaos: parsing live repro %s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return LiveScenario{}, fmt.Errorf("chaos: live repro %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// LiveSmoke generates and runs live scenarios starting at seed, each
+// with the determinism double-run. It returns an error describing the
+// first failing scenario, or nil if every run was clean.
+func LiveSmoke(runs int, seed uint64) error {
+	for i := 0; i < runs; i++ {
+		sc := GenerateLive(seed + uint64(i))
+		r, err := RunLiveChecked(sc)
+		if err != nil {
+			return fmt.Errorf("chaos: live seed %d: %w", sc.Seed, err)
+		}
+		if r.Failed() {
+			return fmt.Errorf("chaos: live seed %d: %d violation(s), classes %v, first: %s",
+				sc.Seed, len(r.Violations), liveClasses(r), r.Violations[0])
+		}
+	}
+	return nil
+}
+
+// liveClasses summarizes a live result's violations as distinct
+// failure classes, in first-occurrence order.
+func liveClasses(r *LiveResult) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, v := range r.Violations {
+		c := Classify(v)
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"rescon/internal/sim"
+)
+
+func liveChaosTestOpts() Options {
+	return Options{Seed: 7, Warmup: sim.Second, Window: 2 * sim.Second} // quick params
+}
+
+// TestLiveChaosSurvivability is the acceptance story of the closed loop
+// on the real runtime: under an identical seeded fault schedule and a
+// hostile tenant, the defended cell (monitor + watchdog + breakers)
+// must strictly improve good-tenant goodput, the watchdog must clamp
+// and then restore, and both cells must drain clean.
+func TestLiveChaosSurvivability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: boots four real servers")
+	}
+	opt := liveChaosTestOpts()
+	opt.Invariants = true // double run + defense/restore/drain gates
+	res, err := LiveChaos(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	und, def := res.Cells[0], res.Cells[1]
+	if und.Config != "undefended" || def.Config != "defended" {
+		t.Fatalf("cell order %q, %q", und.Config, def.Config)
+	}
+	if !res.Deterministic {
+		t.Fatal("invariant run did not confirm determinism")
+	}
+	// The undefended cell must actually suffer: faults fired and no
+	// defense layer absorbed anything.
+	if und.Faults == (def.Faults) && und.Faults.HandlerPanics == 0 {
+		t.Fatal("fault schedule never fired")
+	}
+	if und.Shed != 0 || und.BreakerShed != 0 || und.Refused != 0 {
+		t.Fatalf("undefended cell shed %d/%d/%d, want no shedding layers", und.Shed, und.BreakerShed, und.Refused)
+	}
+	// The defended cell exercises all three layers.
+	if def.Shed == 0 {
+		t.Fatal("defended cell never shed at admission (429 layer not exercised)")
+	}
+	if def.BreakerShed == 0 {
+		t.Fatal("defended cell never tripped a breaker (503 layer not exercised)")
+	}
+	if def.Refused == 0 {
+		t.Fatal("defended cell never refused at accept (tight policy not exercised)")
+	}
+	if def.HogCPUPct >= und.HogCPUPct {
+		t.Fatalf("hog CPU share not reduced: %.1f%% defended vs %.1f%% undefended", def.HogCPUPct, und.HogCPUPct)
+	}
+	// Handler panics are recovered in both cells — the middleware owns
+	// recovery whether or not the closed loop is attached.
+	if und.Panics == 0 {
+		t.Fatal("no injected panic reached a client as a 500")
+	}
+}
+
+// TestLiveChaosQuickNoGate: without Invariants the experiment runs the
+// cells once and reports, never erroring on a healthy run.
+func TestLiveChaosQuickNoGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: boots two real servers")
+	}
+	res, err := LiveChaos(liveChaosTestOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deterministic {
+		t.Fatal("determinism flag set without the invariant double run")
+	}
+	if res.Table().String() == "" {
+		t.Fatal("empty table")
+	}
+}

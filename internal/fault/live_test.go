@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// countSleeper records virtual sleeps instead of burning wall-clock.
+type countSleeper struct {
+	mu    sync.Mutex
+	total time.Duration
+	calls int
+}
+
+func (s *countSleeper) Sleep(d time.Duration) {
+	s.mu.Lock()
+	s.total += d
+	s.calls++
+	s.mu.Unlock()
+}
+
+func TestLiveDeterministicSchedule(t *testing.T) {
+	cfg := LiveConfig{ResetRate: 0.3, StallRate: 0.2, HandlerStallRate: 0.25, PanicRate: 0.1}
+	draw := func(seed int64) ([]bool, []bool) {
+		f := NewLive(seed, cfg, &countSleeper{})
+		resets := make([]bool, 64)
+		panics := make([]bool, 64)
+		for i := range resets {
+			resets[i], _ = f.connFate()
+			_, panics[i] = f.requestFate()
+		}
+		return resets, panics
+	}
+	r1, p1 := draw(42)
+	r2, p2 := draw(42)
+	for i := range r1 {
+		if r1[i] != r2[i] || p1[i] != p2[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	r3, _ := draw(43)
+	same := true
+	for i := range r1 {
+		if r1[i] != r3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical reset schedules")
+	}
+}
+
+func TestLiveStreamsIndependent(t *testing.T) {
+	// Enabling panics must not perturb the reset schedule: per-class
+	// forked RNG streams.
+	drawResets := func(cfg LiveConfig) []bool {
+		f := NewLive(7, cfg, &countSleeper{})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i], _ = f.connFate()
+			f.requestFate()
+		}
+		return out
+	}
+	a := drawResets(LiveConfig{ResetRate: 0.3})
+	b := drawResets(LiveConfig{ResetRate: 0.3, PanicRate: 0.9, HandlerStallRate: 0.9, StallRate: 0.9})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("reset schedule perturbed by other classes at draw %d", i)
+		}
+	}
+}
+
+func TestLiveZeroConfigIsTransparent(t *testing.T) {
+	f := NewLive(1, LiveConfig{}, nil)
+	for i := 0; i < 100; i++ {
+		if reset, stall := f.connFate(); reset || stall != 0 {
+			t.Fatalf("zero config injected a connection fault")
+		}
+		if stall, panics := f.requestFate(); panics || stall != 0 {
+			t.Fatalf("zero config injected a request fault")
+		}
+	}
+	if s := f.Stats(); s != (LiveStats{}) {
+		t.Fatalf("zero config counted faults: %v", s)
+	}
+}
+
+func TestLiveConnReset(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// ResetRate 1: every accepted connection's first read fails.
+	f := NewLive(3, LiveConfig{ResetRate: 1}, &countSleeper{})
+	fl := f.Listener(ln)
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := fl.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		_, err = conn.Read(make([]byte, 1))
+		done <- err
+	}()
+
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("server read error = %v, want ErrInjectedReset", err)
+	}
+	if got := f.Stats().ConnResets; got != 1 {
+		t.Fatalf("ConnResets = %d, want 1", got)
+	}
+}
+
+func TestLiveMiddlewareStallAndPanic(t *testing.T) {
+	sl := &countSleeper{}
+	f := NewLive(5, LiveConfig{HandlerStallRate: 1, HandlerStallFor: 7 * time.Millisecond}, sl)
+	h := f.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Body.String() != "ok" {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+	if sl.total != 7*time.Millisecond {
+		t.Fatalf("stall slept %v on the injected Sleeper, want 7ms", sl.total)
+	}
+
+	fp := NewLive(5, LiveConfig{PanicRate: 1}, sl)
+	hp := fp.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("injected panic did not propagate")
+		}
+	}()
+	hp.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}

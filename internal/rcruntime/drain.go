@@ -1,0 +1,96 @@
+// Graceful shutdown for the governed server: Drain stops admitting new
+// work (accepts are refused, new requests get a 503 with Connection:
+// close) and waits a bounded grace period for in-flight requests to
+// finish; Shutdown additionally closes every listener the runtime
+// handed out. Neither can preempt a running handler — the same
+// cooperative limitation as the rest of the bridge — so the grace bound
+// is the contract: after it, whatever is still running is reported as
+// leaked and the caller may hard-close the server.
+
+package rcruntime
+
+import (
+	"fmt"
+	"time"
+)
+
+// DrainReport is the outcome of a Drain or Shutdown.
+type DrainReport struct {
+	// Waited is how long (clock time) the drain waited for in-flight
+	// requests.
+	Waited time.Duration
+	// LeakedRequests is the number of requests still inside handlers
+	// when the grace period expired (0 for a clean drain).
+	LeakedRequests int64
+	// OpenConns is the number of governed connections still open when
+	// the drain returned. Idle keep-alive connections linger here until
+	// the http.Server closes them; they carry no in-flight work.
+	OpenConns int64
+	// Clean reports a drain that finished with no in-flight requests.
+	Clean bool
+}
+
+// Draining reports whether the runtime is refusing new work because a
+// Drain or Shutdown has begun.
+func (rt *Runtime) Draining() bool { return rt.draining.Load() }
+
+// Drain begins graceful shutdown: the policed listeners refuse every
+// new connection, the middleware sheds every new request with a 503 and
+// Connection: close, and Drain blocks until the in-flight request count
+// reaches zero or grace elapses on the runtime clock. It returns a
+// report of what was still running; it never preempts a handler.
+// Draining is terminal — there is no resume.
+func (rt *Runtime) Drain(grace time.Duration) DrainReport {
+	rt.draining.Store(true)
+	start := rt.clock.Now()
+	step := grace / 50
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	if step > 10*time.Millisecond {
+		step = 10 * time.Millisecond
+	}
+	for rt.reqInflight.Load() > 0 {
+		if rt.clock.Now().Sub(start) >= grace {
+			break
+		}
+		rt.clock.Sleep(step)
+	}
+	leaked := rt.reqInflight.Load()
+	return DrainReport{
+		Waited:         rt.clock.Now().Sub(start),
+		LeakedRequests: leaked,
+		OpenConns:      rt.inflight.Load(),
+		Clean:          leaked == 0,
+	}
+}
+
+// Shutdown is Drain followed by closing every listener the runtime
+// wrapped (idempotently), so a serving http.Server unblocks. It returns
+// an error when the grace period expired with requests still running.
+func (rt *Runtime) Shutdown(grace time.Duration) (DrainReport, error) {
+	rep := rt.Drain(grace)
+	rt.closeListeners()
+	if !rep.Clean {
+		return rep, fmt.Errorf("rcruntime: shutdown grace %v expired with %d request(s) in flight", grace, rep.LeakedRequests)
+	}
+	return rep, nil
+}
+
+// trackListener remembers a policed listener so Shutdown can close it.
+func (rt *Runtime) trackListener(pl *policedListener) {
+	rt.lnMu.Lock()
+	rt.listeners = append(rt.listeners, pl)
+	rt.lnMu.Unlock()
+}
+
+// closeListeners closes every tracked listener; policedListener.Close
+// is idempotent so repeated shutdowns are safe.
+func (rt *Runtime) closeListeners() {
+	rt.lnMu.Lock()
+	lns := append([]*policedListener(nil), rt.listeners...)
+	rt.lnMu.Unlock()
+	for _, pl := range lns {
+		_ = pl.Close()
+	}
+}

@@ -158,18 +158,71 @@ func (w *statusWriter) code() int {
 	return w.status
 }
 
+// retryAfterSeconds converts a wait into a Retry-After header value:
+// whole seconds, rounded up, because telling the client to retry before
+// the budget restores only buys another shed. A non-positive wait maps
+// to 0 (retry immediately).
+func retryAfterSeconds(wait time.Duration) int64 {
+	if wait <= 0 {
+		return 0
+	}
+	secs := int64(wait / time.Second)
+	if wait%time.Second != 0 {
+		secs++ // round up: never tell the client to retry early
+	}
+	return secs
+}
+
+func setRetryAfter(w http.ResponseWriter, wait time.Duration) {
+	w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(wait), 10))
+}
+
 // Middleware wraps next so that every request is bound to a container
 // (via the Binder), admitted against the container subtree's window
 // budget, and charged for its handler wall-clock on completion. Requests
 // whose subtree budget stays exhausted past MaxDelay are shed with
-// 429 Too Many Requests and a Retry-After of the window remainder —
-// backpressure before work is invested, the cooperative analogue of the
-// kernel's early packet drop.
+// 429 Too Many Requests and a Retry-After derived from the remaining
+// window — backpressure before work is invested, the cooperative
+// analogue of the kernel's early packet drop.
+//
+// Around that core sit the graceful-degradation layers: a draining
+// runtime sheds everything with 503 + Connection: close; a tenant whose
+// breaker is open (WithBreakers) is rejected with 503 before the
+// enforcer is consulted; and a panicking handler is recovered — the
+// partial wall-clock is still charged to the bound container, the
+// client gets a 500, and Stats().Panics counts it.
 func (rt *Runtime) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		c := rt.binder.Bind(r)
 		if c == nil || c.Destroyed() {
 			c = rt.cfg.Root
+		}
+		if rt.draining.Load() {
+			rt.drainShed.Add(1)
+			w.Header().Set("Connection", "close")
+			setRetryAfter(w, rt.enf.WindowRemaining())
+			http.Error(w, "server draining", http.StatusServiceUnavailable)
+			rt.sink.RecordRequest(RequestEvent{
+				Container: c.Name(),
+				Code:      http.StatusServiceUnavailable,
+				Shed:      true,
+				Cause:     CauseDrain,
+			})
+			return
+		}
+		if rt.breakers != nil {
+			if wait, allowed := rt.breakers.admit(c, rt.clock.Now(), rt.window); !allowed {
+				rt.breakerShed.Add(1)
+				setRetryAfter(w, wait)
+				http.Error(w, "tenant circuit breaker open", http.StatusServiceUnavailable)
+				rt.sink.RecordRequest(RequestEvent{
+					Container: c.Name(),
+					Code:      http.StatusServiceUnavailable,
+					Shed:      true,
+					Cause:     CauseBreaker,
+				})
+				return
+			}
 		}
 		t0 := rt.clock.Now()
 		// The charge closure is unused: segments charge through the
@@ -181,32 +234,57 @@ func (rt *Runtime) Middleware(next http.Handler) http.Handler {
 		}
 		if !ok {
 			rt.shed.Add(1)
-			retry := rt.enf.WindowRemaining()
-			secs := int64(retry / time.Second)
-			if retry%time.Second != 0 {
-				secs++ // round up: never tell the client to retry early
+			if rt.breakers != nil {
+				rt.breakers.onShed(c, rt.clock.Now(), rt.window)
 			}
-			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			setRetryAfter(w, rt.enf.WindowRemaining())
 			http.Error(w, "resource container budget exhausted", http.StatusTooManyRequests)
 			rt.sink.RecordRequest(RequestEvent{
 				Container: c.Name(),
 				Code:      http.StatusTooManyRequests,
 				Shed:      true,
+				Cause:     CauseShed,
 				Delay:     delay,
 			})
 			return
 		}
+		if rt.breakers != nil {
+			rt.breakers.onAdmit(c)
+		}
 		if waited {
 			rt.delayed.Add(1)
 		}
+		rt.reqInflight.Add(1)
 		b := &binding{rt: rt, c: c, start: rt.clock.Now()}
 		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), bindingKey{}, b)))
+		panicked := false
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked = true
+				}
+			}()
+			next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), bindingKey{}, b)))
+		}()
+		// Charge the (possibly partial) work even when the handler blew
+		// up: the tenant consumed that wall-clock whether or not a
+		// response came of it — unaccounted work is exactly the leak
+		// resource containers exist to close.
 		last, wall := b.finish(rt.clock.Now())
+		rt.reqInflight.Add(-1)
+		cause := ""
+		if panicked {
+			rt.panics.Add(1)
+			cause = CausePanic
+			if sw.status == 0 {
+				http.Error(sw, "handler panicked", http.StatusInternalServerError)
+			}
+		}
 		rt.served.Add(1)
 		rt.sink.RecordRequest(RequestEvent{
 			Container: last.Name(),
 			Code:      sw.code(),
+			Cause:     cause,
 			Wall:      wall,
 			Delay:     delay,
 		})

@@ -45,9 +45,14 @@ func (p AcceptPolicy) validate() error {
 	return nil
 }
 
-// refuseAccept decides a new connection's fate under the policy.
+// refuseAccept decides a new connection's fate under the live policy.
+// A draining runtime refuses everything: stop accepting is the first
+// phase of graceful shutdown.
 func (rt *Runtime) refuseAccept() bool {
-	p := rt.cfg.Policy
+	if rt.draining.Load() {
+		return true
+	}
+	p := *rt.policy.Load()
 	if !p.Enabled {
 		return false
 	}
@@ -69,14 +74,29 @@ func (rt *Runtime) refuseAccept() bool {
 // Listener wraps ln with the runtime's AcceptPolicy: connections refused
 // by the policy are closed on accept and counted in Stats().Refused;
 // admitted connections are tracked so MaxConns can bound concurrency.
-// Pass the result to http.Server.Serve.
+// Pass the result to http.Server.Serve. The wrapper's Close is
+// idempotent, and Shutdown closes every listener the runtime handed
+// out.
 func (rt *Runtime) Listener(ln net.Listener) net.Listener {
-	return &policedListener{Listener: ln, rt: rt}
+	pl := &policedListener{Listener: ln, rt: rt}
+	rt.trackListener(pl)
+	return pl
 }
 
 type policedListener struct {
 	net.Listener
-	rt *Runtime
+	rt     *Runtime
+	closed atomic.Bool
+}
+
+// Close implements net.Listener; repeated closes are no-ops so a
+// Shutdown racing an explicit Close (or a double defer) never surfaces
+// a spurious "use of closed network connection" error.
+func (l *policedListener) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	return l.Listener.Close()
 }
 
 // Accept implements net.Listener, refusing connections per the policy.

@@ -286,6 +286,18 @@ func (e *Enforcer) WindowRemaining() time.Duration {
 	return rem
 }
 
+// Sync runs fn while holding the enforcer's lock. The rc package is not
+// concurrency-safe, and the enforcer reads the governed hierarchy under
+// its lock on every admission — so any mutation of that hierarchy while
+// a server is live (SetAttributes from a watchdog, Destroy from a tenant
+// reaper) must go through Sync. Do not call enforcer methods from fn;
+// that deadlocks.
+func (e *Enforcer) Sync(fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn()
+}
+
 // Do brackets fn with Acquire and actual-time charging.
 func (e *Enforcer) Do(c *rc.Container, fn func()) {
 	charge := e.Acquire(c)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -94,6 +95,21 @@ func WithTelemetrySink(s TelemetrySink) Option {
 	}
 }
 
+// Request-outcome causes recorded in RequestEvent.Cause. Served
+// requests carry an empty cause.
+const (
+	// CauseShed marks a 429: the subtree's window budget stayed
+	// exhausted past MaxDelay.
+	CauseShed = "shed"
+	// CauseBreaker marks a 503 from an open per-tenant circuit breaker.
+	CauseBreaker = "breaker"
+	// CauseDrain marks a 503 issued while the runtime is draining.
+	CauseDrain = "drain"
+	// CausePanic marks a request whose handler panicked; the partial
+	// work is still charged to the bound container.
+	CausePanic = "panic"
+)
+
 // RequestEvent is one request's accounting record, delivered to the
 // TelemetrySink when the middleware finishes with the request.
 type RequestEvent struct {
@@ -102,9 +118,12 @@ type RequestEvent struct {
 	Container string
 	// Code is the HTTP status sent (429 for shed requests).
 	Code int
-	// Shed reports that the request was refused for lack of subtree
-	// budget and never reached the handler.
+	// Shed reports that the request was refused (budget, breaker or
+	// drain) and never reached the handler.
 	Shed bool
+	// Cause classifies the outcome: one of the Cause* constants, or ""
+	// for a normally served request.
+	Cause string
 	// Wall is the handler wall-clock charged into the hierarchy.
 	Wall time.Duration
 	// Delay is the admission delay endured before the handler ran (or
@@ -125,10 +144,21 @@ func (nopSink) RecordRequest(RequestEvent) {}
 
 // Stats is a snapshot of the runtime's request and accept counters.
 type Stats struct {
-	// Served counts requests that completed through the middleware.
+	// Served counts requests that completed through the middleware
+	// (including requests whose handler panicked and was recovered).
 	Served uint64
 	// Shed counts requests refused with 429 after exhausting MaxDelay.
 	Shed uint64
+	// BreakerShed counts requests refused with 503 by an open
+	// per-tenant circuit breaker.
+	BreakerShed uint64
+	// DrainShed counts requests refused with 503 while draining.
+	DrainShed uint64
+	// Panics counts handler panics recovered by the middleware; the
+	// partial work was still charged. Panicked requests also count in
+	// Served, so Served+Shed+BreakerShed+DrainShed is the number of
+	// requests that entered the middleware and left it.
+	Panics uint64
 	// Delayed counts served requests that waited for budget first.
 	Delayed uint64
 	// Accepted counts connections admitted by the policed listener.
@@ -137,6 +167,9 @@ type Stats struct {
 	Refused uint64
 	// Inflight is the number of currently open governed connections.
 	Inflight int64
+	// InflightRequests is the number of requests currently inside a
+	// handler — the quantity Drain waits to reach zero.
+	InflightRequests int64
 }
 
 // Runtime binds resource containers to a live net/http server: Middleware
@@ -153,12 +186,27 @@ type Runtime struct {
 	sink     TelemetrySink
 	enf      *Enforcer
 
-	inflight atomic.Int64
-	served   atomic.Uint64
-	shed     atomic.Uint64
-	delayed  atomic.Uint64
-	accepted atomic.Uint64
-	refused  atomic.Uint64
+	// policy is the live AcceptPolicy; SetPolicy swaps it atomically so
+	// the watchdog can tighten and restore it while the server runs.
+	policy atomic.Pointer[AcceptPolicy]
+
+	breakers *breakerSet // nil unless WithBreakers enabled them
+
+	draining atomic.Bool
+
+	lnMu      sync.Mutex
+	listeners []*policedListener
+
+	inflight    atomic.Int64
+	reqInflight atomic.Int64
+	served      atomic.Uint64
+	shed        atomic.Uint64
+	breakerShed atomic.Uint64
+	drainShed   atomic.Uint64
+	panics      atomic.Uint64
+	delayed     atomic.Uint64
+	accepted    atomic.Uint64
+	refused     atomic.Uint64
 }
 
 // NewRuntime validates cfg (with option overrides folded in) and returns
@@ -193,6 +241,8 @@ func NewRuntime(cfg Config, opts ...Option) (*Runtime, error) {
 		root := cfg.Root
 		rt.binder = BinderFunc(func(*http.Request) *rc.Container { return root })
 	}
+	pol := cfg.Policy
+	rt.policy.Store(&pol)
 	rt.enf = New(rt.clock, rt.window)
 	return rt, nil
 }
@@ -217,14 +267,35 @@ func (rt *Runtime) Root() *rc.Container { return rt.cfg.Root }
 // Window returns the limit-enforcement window in effect.
 func (rt *Runtime) Window() time.Duration { return rt.window }
 
+// Policy returns the AcceptPolicy currently in effect (it may differ
+// from Config.Policy after a SetPolicy, e.g. while the watchdog has
+// emergency settings applied).
+func (rt *Runtime) Policy() AcceptPolicy { return *rt.policy.Load() }
+
+// SetPolicy swaps the live AcceptPolicy, validating it first. New
+// accepts see the new policy immediately; established connections are
+// untouched. This is the watchdog's actuation lever, and an operator's:
+// tighten under attack, restore when calm.
+func (rt *Runtime) SetPolicy(p AcceptPolicy) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	rt.policy.Store(&p)
+	return nil
+}
+
 // Stats returns a snapshot of the runtime's counters.
 func (rt *Runtime) Stats() Stats {
 	return Stats{
-		Served:   rt.served.Load(),
-		Shed:     rt.shed.Load(),
-		Delayed:  rt.delayed.Load(),
-		Accepted: rt.accepted.Load(),
-		Refused:  rt.refused.Load(),
-		Inflight: rt.inflight.Load(),
+		Served:           rt.served.Load(),
+		Shed:             rt.shed.Load(),
+		BreakerShed:      rt.breakerShed.Load(),
+		DrainShed:        rt.drainShed.Load(),
+		Panics:           rt.panics.Load(),
+		Delayed:          rt.delayed.Load(),
+		Accepted:         rt.accepted.Load(),
+		Refused:          rt.refused.Load(),
+		Inflight:         rt.inflight.Load(),
+		InflightRequests: rt.reqInflight.Load(),
 	}
 }

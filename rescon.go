@@ -437,6 +437,133 @@ func RebindRequest(ctx context.Context, c *Container) bool { return rcruntime.Re
 // currently charged to, or nil outside a governed request.
 func BoundContainer(ctx context.Context) *Container { return rcruntime.Bound(ctx) }
 
+// Survivability surface: graceful degradation and closed-loop
+// governance for the real runtime — per-tenant circuit breakers,
+// drain/shutdown with a leak report, an alert-check battery sampling
+// the runtime's counters, and a watchdog that clamps the dominant
+// over-budget tenant and restores it once the storm passes. See
+// DESIGN.md §13 and `rcbench -exp livechaos`.
+type (
+	// DrainReport summarizes a Runtime drain: whether every in-flight
+	// request finished inside the grace period, how many leaked, and how
+	// long the drain waited.
+	DrainReport = rcruntime.DrainReport
+	// BreakerConfig tunes the per-tenant circuit breakers enabled by
+	// WithBreakers: consecutive sheds to open, the open duration, and
+	// its exponential-backoff bound.
+	BreakerConfig = rcruntime.BreakerConfig
+	// RuntimeMonitorConfig sets the thresholds of the runtime check
+	// battery (shed rate, refusal rate, inflight gauge, panics,
+	// per-tenant CPU share, open breakers).
+	RuntimeMonitorConfig = rcruntime.MonitorConfig
+	// RuntimeMonitor samples a Runtime's counters into an AlertMonitor
+	// on every Tick — the adapter between the live runtime and the
+	// alerting subsystem.
+	RuntimeMonitor = rcruntime.Monitor
+	// RuntimeWatchdogConfig tunes the runtime watchdog: the emergency
+	// clamp limit, restore backoff, and which tenants may be clamped.
+	RuntimeWatchdogConfig = rcruntime.WatchdogConfig
+	// RuntimeWatchdog reacts to critical runtime alerts by tightening
+	// the accept policy and clamping the runaway tenant, then restores
+	// the saved settings after a calm stretch — every action journaled
+	// in the alert stream.
+	RuntimeWatchdog = rcruntime.Watchdog
+)
+
+// NewAlertMonitor returns an empty alert monitor, ready for a check
+// battery — the runtime path registers one via AttachRuntimeMonitor
+// (the simulated kernel's AttachAlerts builds its own).
+func NewAlertMonitor() *AlertMonitor { return alert.New() }
+
+// WithBreakers enables per-tenant circuit breakers on a Runtime:
+// consecutive sheds open a tenant's breaker, which fails fast with 503
+// until a half-open probe is admitted again.
+func WithBreakers(cfg BreakerConfig) RuntimeOption { return rcruntime.WithBreakers(cfg) }
+
+// AttachRuntimeMonitor registers the runtime check battery on am and
+// returns the adapter whose Tick samples rt's counters into it.
+func AttachRuntimeMonitor(rt *Runtime, am *AlertMonitor, cfg RuntimeMonitorConfig) (*RuntimeMonitor, error) {
+	return rcruntime.AttachMonitor(rt, am, cfg)
+}
+
+// AttachRuntimeWatchdog wires the closed-loop watchdog to a runtime
+// monitor's critical alerts.
+func AttachRuntimeWatchdog(m *RuntimeMonitor, cfg RuntimeWatchdogConfig) *RuntimeWatchdog {
+	return rcruntime.AttachWatchdog(m, cfg)
+}
+
+// Request-outcome causes recorded in RequestEvent.Cause by a governed
+// Runtime (served requests carry an empty cause).
+const (
+	// CauseShed marks a 429: the subtree's window budget stayed
+	// exhausted past the request's admission patience.
+	CauseShed = rcruntime.CauseShed
+	// CauseBreaker marks a 503 from an open per-tenant circuit breaker.
+	CauseBreaker = rcruntime.CauseBreaker
+	// CauseDrain marks a 503 issued while the runtime is draining.
+	CauseDrain = rcruntime.CauseDrain
+	// CausePanic marks a request whose handler panicked; the partial
+	// work is still charged.
+	CausePanic = rcruntime.CausePanic
+)
+
+// Live fault injection (internal/fault): deterministic connection
+// resets, read stalls, handler stalls and panics for a real net/http
+// server — the chaos layer behind `rcbench -exp livechaos`.
+type (
+	// LiveFaultConfig sets the per-event probabilities and durations of
+	// the injected faults.
+	LiveFaultConfig = fault.LiveConfig
+	// LiveFaultInjector wraps a listener and an http.Handler with
+	// seeded fault injection and tallies what it injected.
+	LiveFaultInjector = fault.LiveInjector
+	// LiveFaultStats counts the faults actually injected in a run.
+	LiveFaultStats = fault.LiveStats
+)
+
+// NewLiveFaultInjector returns a deterministic injector for the seed;
+// sleeper nil uses real time (tests pass the runtime's clock).
+func NewLiveFaultInjector(seed int64, cfg LiveFaultConfig, sleeper fault.Sleeper) *LiveFaultInjector {
+	return fault.NewLive(seed, cfg, sleeper)
+}
+
+// Live chaos harness (internal/chaos): seed-generated scenarios fuzzing
+// the breaker/watchdog closed loop on the real middleware stack, with
+// auto-shrinking repros. See cmd/rcchaos -live.
+type (
+	// LiveChaosScenario describes one live chaos run — tenants, fault
+	// rates, breaker and watchdog settings — as a pure function of its
+	// seed.
+	LiveChaosScenario = chaos.LiveScenario
+	// LiveChaosResult reports one live run: violations, the determinism
+	// hash, watchdog cycle counts, and per-tenant request ledgers.
+	LiveChaosResult = chaos.LiveResult
+)
+
+// GenerateLiveChaosScenario derives a random-but-valid live scenario
+// from the seed.
+func GenerateLiveChaosScenario(seed uint64) LiveChaosScenario { return chaos.GenerateLive(seed) }
+
+// RunLiveChaos runs a live scenario twice on fresh runtimes with the
+// live invariant battery and adds a violation if the run hashes differ.
+func RunLiveChaos(sc LiveChaosScenario) (*LiveChaosResult, error) { return chaos.RunLiveChecked(sc) }
+
+// ShrinkLiveChaosScenario greedily minimizes a failing live scenario
+// while it still fails with the same violation class.
+func ShrinkLiveChaosScenario(sc LiveChaosScenario, class string) LiveChaosScenario {
+	return chaos.ShrinkLive(sc, class)
+}
+
+// LoadLiveChaosScenario reads and validates a live scenario (repro)
+// JSON file.
+func LoadLiveChaosScenario(path string) (LiveChaosScenario, error) {
+	return chaos.LoadLiveScenario(path)
+}
+
+// LiveChaosSmoke generates `runs` live scenarios starting at seed and
+// runs each with the checker, returning the first failure.
+func LiveChaosSmoke(runs int, seed uint64) error { return chaos.LiveSmoke(runs, seed) }
+
 // Telemetry and structured tracing (internal/telemetry, internal/trace).
 type (
 	// Telemetry collects structured trace events, per-principal usage

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -276,6 +277,78 @@ func TestRuntimeFacade(t *testing.T) {
 	}
 	if st := rt.Stats(); st.Served != 1 {
 		t.Fatalf("stats %+v, want 1 served", st)
+	}
+}
+
+// TestSurvivabilityFacade exercises the degradation and governance
+// surface through the facade: breakers, the runtime monitor/watchdog
+// pair, drain reporting, live fault injection, and the live chaos
+// harness.
+func TestSurvivabilityFacade(t *testing.T) {
+	root, err := NewContainer(nil, FixedShare, "root", Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenant, err := NewContainer(root, FixedShare, "tenant", Attributes{Limit: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := MustNewRuntime(RuntimeConfig{Root: root, MaxDelay: NoDelay},
+		WithWindow(50*time.Millisecond),
+		WithBinder(HeaderBinder("X-RC-Tenant", map[string]*Container{"tenant": tenant}, nil)),
+		WithBreakers(BreakerConfig{OpenAfter: 3}))
+
+	am := NewAlertMonitor()
+	mon, err := AttachRuntimeMonitor(rt, am, RuntimeMonitorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := AttachRuntimeWatchdog(mon, RuntimeWatchdogConfig{Clampable: []*Container{tenant}})
+	if wd.Engaged() {
+		t.Fatal("watchdog engaged before any traffic")
+	}
+
+	h := rt.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set("X-RC-Tenant", "tenant")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	mon.Tick()
+	if rt.BreakerOpen(tenant) {
+		t.Fatal("breaker open after a served request")
+	}
+
+	var rep DrainReport = rt.Drain(time.Second)
+	if !rep.Clean || rep.LeakedRequests != 0 {
+		t.Fatalf("drain report %+v, want clean", rep)
+	}
+
+	inj := NewLiveFaultInjector(1, LiveFaultConfig{PanicRate: 1}, nil)
+	var stats LiveFaultStats = inj.Stats()
+	if stats.HandlerPanics != 0 {
+		t.Fatalf("fresh injector stats %+v", stats)
+	}
+
+	sc := GenerateLiveChaosScenario(1)
+	res, err := RunLiveChaos(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("live chaos violations: %v", res.Violations)
+	}
+	if shrunk := ShrinkLiveChaosScenario(sc, "live-leak"); shrunk.Validate() != nil {
+		t.Fatal("shrunk scenario invalid")
+	}
+	path := filepath.Join(t.TempDir(), "live.json")
+	if err := sc.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLiveChaosScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Seed != sc.Seed {
+		t.Fatalf("round-trip seed %d, want %d", loaded.Seed, sc.Seed)
 	}
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-baseline bench-check chaos-smoke chaos-nightly scale-smoke scale-full live-smoke livechaos-smoke livechaos-nightly tier1 ci
+.PHONY: all build vet lint test race bench bench-baseline bench-check chaos-smoke chaos-nightly scale-smoke scale-full live-smoke livechaos-smoke livechaos-nightly rebalance-smoke tier1 ci
 
 all: ci
 
@@ -89,6 +89,16 @@ livechaos-smoke:
 livechaos-nightly:
 	$(GO) run ./cmd/rcchaos -live -run 300 -seed $(CHAOS_NIGHTLY_SEED)
 
+# Adaptive-rebalancing smoke: the static vs adaptive vs no-damping
+# ablation under flash-crowd and diurnal load shifts, across all three
+# kernel modes, under the race detector. -check gates on byte-identical
+# double runs, adaptive goodput strictly above the static split, the
+# damped arm never disarming, the no-damping arm tripping the
+# oscillation detector (and restoring the static shares verbatim), and
+# the starvation floor holding in every cell.
+rebalance-smoke:
+	$(GO) run -race ./cmd/rcbench -exp rebalance -quick -check
+
 tier1: build race
 
-ci: build lint race chaos-smoke livechaos-smoke
+ci: build lint race chaos-smoke livechaos-smoke rebalance-smoke

@@ -113,6 +113,7 @@ var hotPaths = []struct{ pkg, name string }{
 	{"rescon", "BenchmarkSimEngineEventChurn"},
 	{"rescon/internal/netsim", "BenchmarkQueuePushPop"},
 	{"rescon/internal/rc", "BenchmarkChargeCPUDepth3"},
+	{"rescon/internal/rc", "BenchmarkSetAttributesChurn"},
 	{"rescon/internal/sched", "BenchmarkPick8Entities"},
 	{"rescon/internal/sim", "BenchmarkEventCancelFarFuture"},
 	{"rescon/internal/sim", "BenchmarkWheelChurn1MPending"},

@@ -146,6 +146,24 @@ var runners = []runner{
 		printTable(res.Table())
 		return nil
 	}},
+	// rebalance is the adaptive cache-quota ablation: static split vs
+	// the damped closed-loop controller vs the same controller with
+	// every damping mechanism stripped, under two load-shift patterns
+	// and all three kernel modes. With -check it re-runs every cell and
+	// enforces byte-identical determinism, the adaptive-beats-static
+	// goodput gate, the adaptive arm staying armed, and the no-damping
+	// arm tripping the oscillation detector exactly once.
+	{"rebalance", true, func(opt experiments.Options) error {
+		res, err := experiments.Rebalance(opt)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		if res.Deterministic {
+			fmt.Println("rebalance: double run byte-identical; goodput, stability, disarm and floor gates hold")
+		}
+		return nil
+	}},
 	// scale is not part of -exp all: the full ramp reaches one million
 	// concurrent connections per cell and is meant to be invoked
 	// directly (rcbench -exp scale, or -exp scale -quick for the capped

@@ -2,8 +2,11 @@
 // seeded scenarios over the simulated resource-container server, runs
 // each one under all three kernel modes with the full invariant battery
 // (including the alert-flap and missed-detection checks over the alert
-// stream) and the determinism double-run, and — on failure — shrinks the
-// scenario to a minimal repro and writes it as JSON.
+// stream, and — on scenarios that arm the adaptive rebalancer — the
+// rebalance-conservation, rebalance-starvation and rebalance-oscillation
+// classes over the controller's decision journal) and the determinism
+// double-run, and — on failure — shrinks the scenario to a minimal
+// repro and writes it as JSON.
 //
 // With -live it fuzzes the real runtime's closed loop instead: seeded
 // tenant mixes and request-level fault schedules against the governed

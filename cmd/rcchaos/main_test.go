@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"rescon/internal/chaos"
+	"rescon/internal/sim"
 )
 
 // stubRun substitutes the chaos runner (and neuters the shrinker) for
@@ -145,6 +146,45 @@ func TestLiveReplayCleanRepro(t *testing.T) {
 	}
 	if code := run([]string{"-live", "-repro", filepath.Join(t.TempDir(), "missing.json")}, io.Discard, io.Discard); code != exitUsage {
 		t.Fatal("missing live repro did not exit 2")
+	}
+}
+
+// TestRebalanceMutationReproExitsOne replays planted-bug rebalance
+// repros end to end — no stubs: each mutation's invariant class must
+// fire, be named in the output, and map to the violation exit code.
+func TestRebalanceMutationReproExitsOne(t *testing.T) {
+	cases := []struct{ mutation, class string }{
+		{chaos.MutationRebalanceLeak, "rebalance-conservation"},
+		{chaos.MutationRebalanceNoFloor, "rebalance-starvation"},
+		{chaos.MutationRebalanceNoDisarm, "rebalance-oscillation"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mutation, func(t *testing.T) {
+			sc := chaos.Scenario{
+				Seed:    11,
+				Mode:    "rc",
+				CPUs:    1,
+				Horizon: 800 * sim.Millisecond,
+				Containers: []chaos.ContainerSpec{
+					{Name: "a", Parent: -1, Fixed: true, Share: 0.25},
+					{Name: "b", Parent: -1, Fixed: true, Share: 0.20},
+				},
+				Workloads: []chaos.WorkloadSpec{{Kind: chaos.WorkClients, Count: 8}},
+				Rebalance: &chaos.RebalanceSpec{},
+				Mutation:  tc.mutation,
+			}
+			path := filepath.Join(t.TempDir(), "repro.json")
+			if err := sc.WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+			var stdout bytes.Buffer
+			if code := run([]string{"-repro", path}, &stdout, io.Discard); code != exitViolation {
+				t.Fatalf("replaying %s repro = %d, want %d\n%s", tc.mutation, code, exitViolation, stdout.String())
+			}
+			if !strings.Contains(stdout.String(), tc.class) {
+				t.Errorf("output does not name %s:\n%s", tc.class, stdout.String())
+			}
+		})
 	}
 }
 

@@ -31,8 +31,18 @@
 //   - Missed-detection: the monitor's self-check stays clean — any
 //     signal that sustained a threshold long enough to raise must have
 //     produced the corresponding event.
+//   - Rebalance safety (scenarios that arm the adaptive rebalancer):
+//     rebalance-conservation — the controller's pool allocations sum
+//     exactly to the saved static total at every quiet point;
+//     rebalance-starvation — no governed container ever sits below its
+//     starvation floor; rebalance-oscillation — a controller whose
+//     sign-flip count reaches the detector threshold must have
+//     disarmed, and a disarmed controller must have restored the saved
+//     static attributes verbatim. The planted-bug mutations
+//     (MutationRebalance*) prove each class actually fires.
 //   - Determinism: re-running a scenario must produce a byte-identical
-//     state digest (RunChecked), alert stream included.
+//     state digest (RunChecked), alert stream and rebalance decision
+//     journal included.
 //
 // Entry points: Generate (seed → Scenario), Run / RunChecked (Scenario
 // → Result), Shrink (failing Scenario → minimal Scenario), Smoke (the
@@ -48,6 +58,7 @@ import (
 // "fails the same way" used by Shrink and the rcchaos triage output.
 func Classify(v string) string {
 	for _, c := range []string{"cpu-conservation", "conn-conservation", "isolation-floor", "alert-flap", "missed-detection",
+		"rebalance-conservation", "rebalance-starvation", "rebalance-oscillation",
 		"live-conservation", "live-leak", "live-oscillation", "live-starvation", "determinism"} {
 		if strings.Contains(v, c) {
 			return c

@@ -15,6 +15,7 @@ import (
 	"rescon/internal/fault"
 	"rescon/internal/rc"
 	"rescon/internal/rcruntime"
+	"rescon/internal/rebalance"
 	"rescon/internal/sim"
 )
 
@@ -47,11 +48,13 @@ import (
 //   - determinism: RunLiveChecked re-runs the scenario and compares the
 //     full digests (counters, alert stream, violations).
 
-// Live generator fork labels, continuing scenario.go's sequence.
+// Live generator fork labels, continuing scenario.go's sequence (8 is
+// the sim rebalance axis).
 const (
-	labelLiveTenants = 5
-	labelLiveFaults  = 6
-	labelLiveDefense = 7
+	labelLiveTenants   = 5
+	labelLiveFaults    = 6
+	labelLiveDefense   = 7
+	labelLiveRebalance = 9
 )
 
 // liveOscillationGrace is how many calm rounds the harness grants the
@@ -98,6 +101,19 @@ type LiveBreakerSpec struct {
 	OpenAfter int `json:"open_after"`
 }
 
+// LiveRebalanceSpec arms the adaptive rebalancer on the live runtime: a
+// CPULimit pool over the hostile tenants' window budgets, actuated
+// through Enforcer.Sync off the monitor tick, arbitrated against the
+// watchdog when one is configured. Mutation plants a controller bug
+// (same seam as the sim Scenario.Mutation rebalance values, minus the
+// "rebalance-" prefix): "oscillate", "no-disarm", "leak", "no-floor".
+type LiveRebalanceSpec struct {
+	CooldownTicks int    `json:"cooldown_ticks,omitempty"`
+	OscMaxFlips   int    `json:"osc_max_flips,omitempty"`
+	CalmTicks     int    `json:"calm_ticks,omitempty"`
+	Mutation      string `json:"mutation,omitempty"`
+}
+
 // LiveWatchdogSpec enables the monitor + watchdog closed loop.
 type LiveWatchdogSpec struct {
 	ClampLimit      float64 `json:"clamp_limit"`
@@ -115,16 +131,17 @@ type LiveWatchdogSpec struct {
 // middleware stack under a tenant mix, fault schedule and defense
 // configuration, all drawn from Seed.
 type LiveScenario struct {
-	Seed          uint64            `json:"seed"`
-	Window        sim.Duration      `json:"window"`
-	HostileRounds int               `json:"hostile_rounds"`
-	CalmRounds    int               `json:"calm_rounds"`
-	Think         sim.Duration      `json:"think"`
-	Grace         sim.Duration      `json:"grace"`
-	Tenants       []LiveTenantSpec  `json:"tenants"`
-	Faults        LiveFaultSpec     `json:"faults"`
-	Breakers      *LiveBreakerSpec  `json:"breakers,omitempty"`
-	Watchdog      *LiveWatchdogSpec `json:"watchdog,omitempty"`
+	Seed          uint64             `json:"seed"`
+	Window        sim.Duration       `json:"window"`
+	HostileRounds int                `json:"hostile_rounds"`
+	CalmRounds    int                `json:"calm_rounds"`
+	Think         sim.Duration       `json:"think"`
+	Grace         sim.Duration       `json:"grace"`
+	Tenants       []LiveTenantSpec   `json:"tenants"`
+	Faults        LiveFaultSpec      `json:"faults"`
+	Breakers      *LiveBreakerSpec   `json:"breakers,omitempty"`
+	Watchdog      *LiveWatchdogSpec  `json:"watchdog,omitempty"`
+	Rebalance     *LiveRebalanceSpec `json:"rebalance,omitempty"`
 }
 
 // Validate rejects specs the runner cannot build.
@@ -165,6 +182,22 @@ func (sc LiveScenario) Validate() error {
 		}
 		if w.BackoffTicks < 1 || w.MaxBackoffTicks < w.BackoffTicks {
 			return fmt.Errorf("chaos: watchdog backoff %d/%d invalid", w.BackoffTicks, w.MaxBackoffTicks)
+		}
+	}
+	if rb := sc.Rebalance; rb != nil {
+		switch rb.Mutation {
+		case "", "oscillate", "no-disarm", "leak", "no-floor":
+		default:
+			return fmt.Errorf("chaos: unknown live rebalance mutation %q", rb.Mutation)
+		}
+		limited := 0
+		for _, t := range sc.Tenants {
+			if !t.Calm && t.Limit > 0 {
+				limited++
+			}
+		}
+		if limited < 2 {
+			return fmt.Errorf("chaos: live rebalance needs at least two limited hostile tenants, got %d", limited)
 		}
 	}
 	return nil
@@ -216,6 +249,24 @@ func GenerateLive(seed uint64) LiveScenario {
 		sc.Faults.PanicRate = 0.08 * rf.Float64()
 	}
 
+	// The rebalance axis: arm the controller on half the seeds whose
+	// tenant draw left at least two hogs (its CPULimit pool governs the
+	// hostile budgets; the calm victim stays unlimited so the
+	// starvation invariant keeps watching it). Hogs get forced window
+	// budgets so the pool has a conserved total to govern.
+	rb := top.Fork(labelLiveRebalance)
+	if hogs := len(sc.Tenants) - 1; hogs >= 2 && rb.Float64() < 0.5 {
+		for i := range sc.Tenants {
+			if !sc.Tenants[i].Calm {
+				sc.Tenants[i].Limit = 0.15 + 0.25*rb.Float64()
+			}
+		}
+		sc.Rebalance = &LiveRebalanceSpec{
+			CooldownTicks: 1 + rb.Intn(4),
+			OscMaxFlips:   4 + rb.Intn(5),
+		}
+	}
+
 	rd := top.Fork(labelLiveDefense)
 	if rd.Float64() < 0.8 {
 		sc.Breakers = &LiveBreakerSpec{OpenAfter: 2 + rd.Intn(5)}
@@ -260,6 +311,9 @@ type LiveResult struct {
 	Served, Shed          uint64
 	BreakerShed, Panics   uint64
 	Engagements, Restores uint64
+	RebalanceSteps        uint64
+	RebalanceFreezes      uint64
+	RebalanceDisarms      uint64
 	Faults                fault.LiveStats
 	Elapsed               time.Duration
 }
@@ -405,6 +459,103 @@ func RunLive(sc LiveScenario) (*LiveResult, error) {
 		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
 	}
 
+	// The adaptive rebalancer: a CPULimit pool over the limited hostile
+	// tenants, ticked off the monitor (created here when no watchdog
+	// scenario already made one). The watchdog was attached first, so
+	// its engage lands before the controller's freeze decision on the
+	// same tick — the arbitration the sim harness exercises, against the
+	// real enforcer.
+	var ctrl *rebalance.Controller
+	auditRebalance := func() {}
+	if spec := sc.Rebalance; spec != nil {
+		if mon == nil {
+			am := alert.New()
+			am.SetRun(int64(sc.Seed), "livefuzz", sc.Window)
+			mon, err = rcruntime.AttachMonitor(rt, am, rcruntime.MonitorConfig{Tenants: hogs})
+			if err != nil {
+				return nil, err
+			}
+		}
+		cfg := rebalance.Config{
+			CooldownTicks: spec.CooldownTicks,
+			OscMaxFlips:   spec.OscMaxFlips,
+			CalmTicks:     spec.CalmTicks,
+		}
+		thrash := isThrashMutation("rebalance-" + spec.Mutation)
+		if thrash {
+			cfg.StepFrac = 1
+			cfg.NoCooldown = true
+			cfg.NoDeadband = true
+			cfg.OscWindowTicks = 16
+			cfg.OscMaxFlips = 4
+			cfg.DemandWindowTicks = 1
+		}
+		switch spec.Mutation {
+		case "no-disarm":
+			cfg.DisableDisarm = true
+		case "no-floor":
+			cfg.IgnoreFloors = true
+			cfg.DisableDisarm = true
+		case "leak":
+			// A leak only manifests on steps; strip the deadband so the
+			// small organic imbalances of a live run produce them.
+			cfg.LeakUnits = 1
+			cfg.NoDeadband = true
+		}
+		if wd != nil {
+			cfg.Freeze = []rebalance.Freezer{wd}
+		}
+		ctrl, err = rcruntime.AttachRebalancer(mon, cfg)
+		if err != nil {
+			return nil, err
+		}
+		var members []rebalance.Member
+		poolIdx := 0
+		for _, t := range sc.Tenants {
+			if t.Calm || t.Limit <= 0 {
+				continue
+			}
+			c := bound[t.Name]
+			demand := func() int64 { return int64(c.Usage().CPU()) }
+			if thrash {
+				i, cum := uint64(poolIdx), int64(0)
+				demand = func() int64 {
+					if (ctrl.Ticks()+i)%2 == 0 {
+						cum += thrashDemand
+					}
+					return cum
+				}
+			}
+			members = append(members, rebalance.Member{Container: c, Demand: demand})
+			poolIdx++
+		}
+		if err := ctrl.AddPool(rebalance.PoolConfig{
+			Name: "cpu", Resource: rebalance.CPULimit, Members: members,
+		}); err != nil {
+			return nil, err
+		}
+		audits := []struct {
+			class string
+			fn    func() string
+		}{
+			{"rebalance-conservation", latch(ctrl.AuditConservation)},
+			{"rebalance-starvation", latch(ctrl.AuditFloors)},
+			{"rebalance-oscillation", latch(func() string {
+				if v := ctrl.AuditOscillation(); v != "" {
+					return v
+				}
+				return ctrl.AuditRestore()
+			})},
+		}
+		auditRebalance = func() {
+			for _, a := range audits {
+				if msg := a.fn(); msg != "" {
+					violate("%s: %s", a.class, msg)
+				}
+			}
+		}
+	}
+
 	issue := func(t LiveTenantSpec) {
 		req := httptest.NewRequest("GET", "http://livefuzz/work", nil)
 		req.Header.Set("X-RC-Tenant", t.Name)
@@ -440,6 +591,7 @@ func RunLive(sc LiveScenario) (*LiveResult, error) {
 		if mon != nil {
 			mon.Tick()
 		}
+		auditRebalance()
 	}
 	for r := 0; r < sc.HostileRounds; r++ {
 		round(true)
@@ -507,36 +659,46 @@ func RunLive(sc LiveScenario) (*LiveResult, error) {
 	}
 
 	var am *alert.Monitor
+	if mon != nil {
+		am = mon.Alert()
+	}
 	if wd != nil {
 		res.Engagements, res.Restores = wd.Engagements(), wd.Restores()
 		if wd.Engaged() || res.Restores != res.Engagements {
 			violate("live-oscillation: clamp never released: engaged=%t engagements=%d restores=%d",
 				wd.Engaged(), res.Engagements, res.Restores)
 		}
-		am = mon.Alert()
 		if msg := am.SelfCheck(); msg != "" {
 			violate("missed-detection: %s", msg)
 		}
+	}
+	if ctrl != nil {
+		res.RebalanceSteps = ctrl.Steps()
+		res.RebalanceFreezes = ctrl.Freezes()
+		res.RebalanceDisarms = ctrl.Disarms()
 	}
 
 	res.Served, res.Shed = s.Served, s.Shed
 	res.BreakerShed, res.Panics = s.BreakerShed, s.Panics
 	res.Faults = inj.Stats()
-	res.Hash = hashLiveRun(am, res, s)
+	res.Hash = hashLiveRun(am, ctrl, res, s)
 	return res, nil
 }
 
 // hashLiveRun digests the run's observable state — the alert stream,
-// every counter, the per-tenant ledgers and the violations — for the
-// determinism double-run.
-func hashLiveRun(am *alert.Monitor, res *LiveResult, s rcruntime.Stats) uint64 {
+// the rebalance decision journal, every counter, the per-tenant ledgers
+// and the violations — for the determinism double-run.
+func hashLiveRun(am *alert.Monitor, ctrl *rebalance.Controller, res *LiveResult, s rcruntime.Stats) uint64 {
 	h := fnv.New64a()
 	if am != nil {
 		_ = am.WriteJSONL(h)
 	}
-	fmt.Fprintf(h, "served=%d shed=%d breaker=%d drain=%d panics=%d refused=%d delayed=%d wd=%d/%d faults=%v elapsed=%d\n",
+	_ = ctrl.WriteJSONL(h)
+	fmt.Fprintf(h, "served=%d shed=%d breaker=%d drain=%d panics=%d refused=%d delayed=%d wd=%d/%d rb=%d/%d/%d faults=%v elapsed=%d\n",
 		s.Served, s.Shed, s.BreakerShed, s.DrainShed, s.Panics, s.Refused, s.Delayed,
-		res.Engagements, res.Restores, res.Faults, int64(res.Elapsed))
+		res.Engagements, res.Restores,
+		res.RebalanceSteps, res.RebalanceFreezes, res.RebalanceDisarms,
+		res.Faults, int64(res.Elapsed))
 	names := make([]string, 0, len(res.Tenants))
 	for name := range res.Tenants {
 		names = append(names, name)
@@ -659,6 +821,16 @@ func ShrinkLive(sc LiveScenario, class string) LiveScenario {
 		if sc.Watchdog != nil {
 			cand := sc
 			cand.Watchdog = nil
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
+		// Disarm the rebalancer — legal only when no planted mutation
+		// needs the controller to exist.
+		if sc.Rebalance != nil && sc.Rebalance.Mutation == "" {
+			cand := sc
+			cand.Rebalance = nil
 			if fails(cand) {
 				sc = cand
 				reduced = true

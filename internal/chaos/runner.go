@@ -12,6 +12,7 @@ import (
 	"rescon/internal/kernel"
 	"rescon/internal/netsim"
 	"rescon/internal/rc"
+	"rescon/internal/rebalance"
 	"rescon/internal/sim"
 	"rescon/internal/telemetry"
 	"rescon/internal/trace"
@@ -60,6 +61,10 @@ type Result struct {
 	Restarts      uint64
 	AlertEvents   uint64
 	AlertFlaps    uint64
+
+	RebalanceSteps   uint64
+	RebalanceFreezes uint64
+	RebalanceDisarms uint64
 }
 
 // Failed reports whether any invariant was violated.
@@ -95,11 +100,13 @@ func Run(sc Scenario) (*Result, error) {
 	tel.SetRun(int64(sc.Seed), sc.Mode)
 	k.Police.Enabled = sc.Policing
 
-	// Alert monitor, detection-only: no watchdog, so the alerting layer
-	// observes the run without perturbing its trajectory. Its event
-	// stream joins the determinism hash, and two of its properties are
-	// invariants — alerts must not flap, and a sustained overload must
-	// never go unreported (SelfCheck).
+	// Alert monitor. Without a RebalanceSpec it is detection-only: no
+	// actuator, so the alerting layer observes the run without
+	// perturbing its trajectory. Its event stream joins the determinism
+	// hash, and two of its properties are invariants — alerts must not
+	// flap, and a sustained overload must never go unreported
+	// (SelfCheck). A RebalanceSpec later arms the full closed loop
+	// (watchdog + adaptive rebalancer) on top of this monitor.
 	mon, err := alert.Attach(k, alert.Config{})
 	if err != nil {
 		return nil, err
@@ -171,6 +178,28 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	if cgiParent == nil {
 		cgiParent = connParent
+	}
+
+	// The closed loop: watchdog (emergency actuator, arbitration
+	// partner) + adaptive rebalancer governing the generated hierarchy,
+	// with the controller's own safety properties joining the invariant
+	// battery. The audits abstain while the watchdog holds the
+	// hierarchy, and latch so a persistent violation is recorded per
+	// distinct message, not per checker tick.
+	var ctrl *rebalance.Controller
+	if sc.Rebalance != nil {
+		ctrl, _, err = attachRebalance(sc, k, tel, mon, built)
+		if err != nil {
+			return nil, err
+		}
+		check.MustWatchCheck("rebalance-conservation", latch(ctrl.AuditConservation))
+		check.MustWatchCheck("rebalance-starvation", latch(ctrl.AuditFloors))
+		check.MustWatchCheck("rebalance-oscillation", latch(func() string {
+			if v := ctrl.AuditOscillation(); v != "" {
+				return v
+			}
+			return ctrl.AuditRestore()
+		}))
 	}
 
 	if sc.Faults != (fault.Config{}) {
@@ -282,8 +311,11 @@ func Run(sc Scenario) (*Result, error) {
 			return nil, err
 		}
 	}
+	// A RebalanceSpec also disables the floor probe: the armed
+	// watchdog's tightened admission control can legitimately starve
+	// the premium population's handshakes during an engagement.
 	floorOn := rcMode && sc.Crash == nil && sc.Faults == (fault.Config{}) &&
-		connParent == nil && !hasWorkload(sc, WorkDisk)
+		connParent == nil && !hasWorkload(sc, WorkDisk) && sc.Rebalance == nil
 	if floorOn {
 		probe := &floorProbe{k: k, pop: premium}
 		eng.Every(floorProbePeriod, probe.tick)
@@ -325,7 +357,12 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	res.AlertEvents = uint64(len(mon.Events()))
 	res.AlertFlaps = mon.Flaps()
-	res.Hash = hashRun(tel, mon, res)
+	if ctrl != nil {
+		res.RebalanceSteps = ctrl.Steps()
+		res.RebalanceFreezes = ctrl.Freezes()
+		res.RebalanceDisarms = ctrl.Disarms()
+	}
+	res.Hash = hashRun(tel, mon, ctrl, res)
 	return res, nil
 }
 
@@ -463,18 +500,20 @@ func (p *floorProbe) take() string {
 
 // hashRun computes an FNV-1a 64 digest over the run's full observable
 // state: the byte-stable telemetry JSONL dump, the alert event stream,
-// the conservation counters, and every violation string. Two runs of
-// the same scenario must produce the same digest — checked by
-// RunChecked.
-func hashRun(tel *telemetry.Collector, mon *alert.Monitor, res *Result) uint64 {
+// the rebalancer's decision journal (when armed), the conservation
+// counters, and every violation string. Two runs of the same scenario
+// must produce the same digest — checked by RunChecked.
+func hashRun(tel *telemetry.Collector, mon *alert.Monitor, ctrl *rebalance.Controller, res *Result) uint64 {
 	h := fnv.New64a()
 	_ = tel.WriteJSONL(h)
 	_ = mon.WriteJSONL(h)
-	fmt.Fprintf(h, "est=%d closed=%d open=%d busy=%d intr=%d attr=%d policed=%d crashes=%d restarts=%d completed=%d alerts=%d flaps=%d\n",
+	_ = ctrl.WriteJSONL(h)
+	fmt.Fprintf(h, "est=%d closed=%d open=%d busy=%d intr=%d attr=%d policed=%d crashes=%d restarts=%d completed=%d alerts=%d flaps=%d rbsteps=%d rbfreezes=%d rbdisarms=%d\n",
 		res.Established, res.Closed, res.Open,
 		int64(res.BusyTime), int64(res.InterruptTime), int64(res.AttributedCPU),
 		res.PolicedDrops, res.Crashes, res.Restarts, res.Completed,
-		res.AlertEvents, res.AlertFlaps)
+		res.AlertEvents, res.AlertFlaps,
+		res.RebalanceSteps, res.RebalanceFreezes, res.RebalanceDisarms)
 	// Violations are hashed in sorted order: a couple of kernel-internal
 	// collections are maps, so when one bad tick trips several queue
 	// checks at once their relative order is not guaranteed, and the

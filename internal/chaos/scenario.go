@@ -98,6 +98,7 @@ type Scenario struct {
 	Workloads  []WorkloadSpec  `json:"workloads,omitempty"`
 	Faults     fault.Config    `json:"faults,omitempty"`
 	Crash      *CrashSpec      `json:"crash,omitempty"`
+	Rebalance  *RebalanceSpec  `json:"rebalance,omitempty"`
 
 	// Mutation enables a deliberately planted bug in the runner — the
 	// harness's self-test seam. The generator never sets it; tests use
@@ -113,6 +114,45 @@ type Scenario struct {
 // the generated scenario, shrinking a phantom-cpu failure must converge
 // to a near-empty scenario.
 const MutationPhantomCPU = "phantom-cpu"
+
+// Rebalancer mutations: planted bugs in the adaptive controller, the
+// harness self-test seam for the rebalance-* invariant classes. Each
+// requires Scenario.Rebalance to be set; each replaces the controller's
+// organic demand signals with hard alternating synthetic demand and
+// strips the damping (full-pool steps, no cooldown, no deadband), the
+// worst-case thrash input.
+const (
+	// MutationRebalanceOscillate is the *negative control*: thrash with
+	// the disarm protocol intact. The oscillation detector must trip
+	// and restore the static shares, so the run stays CLEAN — proving
+	// graceful degradation, not just detection.
+	MutationRebalanceOscillate = "rebalance-oscillate"
+	// MutationRebalanceNoDisarm is the same thrash with the disarm
+	// suppressed; the rebalance-oscillation invariant must fire.
+	MutationRebalanceNoDisarm = "rebalance-no-disarm"
+	// MutationRebalanceLeak mints allocation units out of thin air (one
+	// per tick); the rebalance-conservation invariant must fire.
+	MutationRebalanceLeak = "rebalance-leak"
+	// MutationRebalanceNoFloor lets steps cross the starvation floor;
+	// the rebalance-starvation invariant must fire.
+	MutationRebalanceNoFloor = "rebalance-no-floor"
+)
+
+// RebalanceSpec arms the adaptive rebalancer for the run: the runner
+// attaches an alert.Watchdog (the arbitration partner) plus a
+// rebalance.Controller governing the generated hierarchy — a CPU-share
+// pool over the top-level fixed containers and a memory-quota pool over
+// the MemLimit-carrying containers, where at least two qualify. Zero
+// fields take the rebalance package defaults.
+type RebalanceSpec struct {
+	StepFrac       float64 `json:"step_frac,omitempty"`
+	FloorFrac      float64 `json:"floor_frac,omitempty"`
+	CooldownTicks  int     `json:"cooldown_ticks,omitempty"`
+	DeadbandFrac   float64 `json:"deadband_frac,omitempty"`
+	OscWindowTicks int     `json:"osc_window_ticks,omitempty"`
+	OscMaxFlips    int     `json:"osc_max_flips,omitempty"`
+	CalmTicks      int     `json:"calm_ticks,omitempty"`
+}
 
 // Validate reports whether the scenario is structurally runnable:
 // recognized mode and mutation, a positive machine and horizon, parent
@@ -149,6 +189,11 @@ func (sc Scenario) Validate() error {
 	}
 	switch sc.Mutation {
 	case "", MutationPhantomCPU:
+	case MutationRebalanceOscillate, MutationRebalanceNoDisarm,
+		MutationRebalanceLeak, MutationRebalanceNoFloor:
+		if sc.Rebalance == nil {
+			return fmt.Errorf("chaos: mutation %q requires a rebalance spec", sc.Mutation)
+		}
 	default:
 		return fmt.Errorf("chaos: unknown mutation %q", sc.Mutation)
 	}
@@ -158,10 +203,11 @@ func (sc Scenario) Validate() error {
 // RNG fork labels, one per independent generation axis, so changing the
 // draw count on one axis never perturbs another.
 const (
-	labelMachine = 1
-	labelTopo    = 2
-	labelLoad    = 3
-	labelFault   = 4
+	labelMachine   = 1
+	labelTopo      = 2
+	labelLoad      = 3
+	labelFault     = 4
+	labelRebalance = 8 // 5-7 are the live-scenario labels (live.go)
 )
 
 // Generate derives a complete Scenario from a single seed. The same
@@ -201,6 +247,16 @@ func Generate(seed uint64) Scenario {
 		sc.Crash = &CrashSpec{
 			MTBF:     300*sim.Millisecond + rf.Uniform(0, 700*sim.Millisecond),
 			Downtime: 50*sim.Millisecond + rf.Uniform(0, 200*sim.Millisecond),
+		}
+	}
+	// A fresh fork for the rebalance axis, so arming the controller on
+	// half the seeds never perturbs the machine/topology/load draws of
+	// scenarios that predate it.
+	rr := top.Fork(labelRebalance)
+	if rr.Float64() < 0.5 {
+		sc.Rebalance = &RebalanceSpec{
+			CooldownTicks: 1 + rr.Intn(8),
+			OscMaxFlips:   4 + rr.Intn(5),
 		}
 	}
 	return sc

@@ -106,6 +106,18 @@ func Shrink(sc Scenario, class string) Scenario {
 				reduced = true
 			}
 		}
+		// Disarm the adaptive rebalancer — legal only when no mutation
+		// requires it (a rebalance mutation without the spec fails
+		// Validate, and the failure it plants obviously needs the
+		// controller to exist).
+		if sc.Rebalance != nil && !isRebalanceMutation(sc.Mutation) {
+			cand := sc
+			cand.Rebalance = nil
+			if fails(cand) {
+				sc = cand
+				reduced = true
+			}
+		}
 		if sc.CPUs > 1 {
 			cand := sc
 			cand.CPUs = 1

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"rescon/internal/kernel"
+	"rescon/internal/sim"
+)
+
+// TestRebalanceGates runs the full ablation with the -check gates at CI
+// windows: byte-identical double run, adaptive goodput strictly above
+// the static split in every (shift, mode), the damped arm never
+// disarming under organic load shifts, and the no-damping arm tripping
+// the oscillation detector exactly once. The starvation-floor,
+// conservation and restore audits run inside every cell.
+func TestRebalanceGates(t *testing.T) {
+	res, err := Rebalance(Options{Warmup: sim.Second, Window: 2 * sim.Second, Invariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Deterministic {
+		t.Fatal("determinism gate did not run")
+	}
+	if n := len(res.Cells); n != 18 {
+		t.Fatalf("got %d cells, want 18 (2 shifts × 3 modes × 3 policies)", n)
+	}
+	for _, c := range res.Cells {
+		switch c.Policy {
+		case PolicyStatic:
+			if c.Steps != 0 || c.Journal != 0 {
+				t.Errorf("%s/%s static cell has controller state: %+v", c.Shift, c.Mode, c)
+			}
+		default:
+			if c.Journal == 0 {
+				t.Errorf("%s/%s/%s: no decision journal digest", c.Shift, c.Mode, c.Policy)
+			}
+		}
+	}
+}
+
+// TestRebalanceDisarmRestoresExactly pins the graceful-degradation
+// claim on a single cell: the no-damping arm must end disarmed with the
+// static split restored verbatim, which the in-cell AuditRestore checks
+// before rebalancePoint returns — so a non-error cell with Disarms == 1
+// is the proof.
+func TestRebalanceDisarmRestoresExactly(t *testing.T) {
+	opt := (Options{Warmup: sim.Second, Window: 2 * sim.Second}).withDefaults(sim.Second, 2*sim.Second)
+	cell, err := rebalancePoint("flash", kernel.ModeRC, PolicyNoDamp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Disarms != 1 {
+		t.Fatalf("no-damping arm disarmed %d time(s), want 1: %+v", cell.Disarms, cell)
+	}
+}

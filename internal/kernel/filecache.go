@@ -30,6 +30,18 @@ type FileCache struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	// Per-container stats, keyed by the memory-charged container (the
+	// guest/server container, not the transient per-connection
+	// activity) — the demand signal the adaptive rebalancer consumes:
+	// a guest's miss counter climbing while a sibling's idles is the
+	// evidence for moving cache quota between them.
+	perC map[*rc.Container]*containerCacheStats
+}
+
+type containerCacheStats struct {
+	hits   uint64
+	misses uint64
 }
 
 type cacheEntry struct {
@@ -68,6 +80,31 @@ func (fc *FileCache) Stats() (hits, misses, evictions uint64) {
 	return fc.hits, fc.misses, fc.evictions
 }
 
+// ContainerStats returns the hit/miss counters attributed to the given
+// memory-charged container (the memC argument of Read). Zeroes for a
+// container that has never been charged.
+func (fc *FileCache) ContainerStats(c *rc.Container) (hits, misses uint64) {
+	if s, ok := fc.perC[c]; ok {
+		return s.hits, s.misses
+	}
+	return 0, 0
+}
+
+func (fc *FileCache) statsFor(c *rc.Container) *containerCacheStats {
+	if c == nil {
+		return nil
+	}
+	if fc.perC == nil {
+		fc.perC = make(map[*rc.Container]*containerCacheStats)
+	}
+	s, ok := fc.perC[c]
+	if !ok {
+		s = &containerCacheStats{}
+		fc.perC[c] = s
+	}
+	return s
+}
+
 // Used returns the bytes currently cached.
 func (fc *FileCache) Used() int64 { return fc.used }
 
@@ -89,6 +126,9 @@ func (fc *FileCache) Contains(path string) bool {
 func (fc *FileCache) Read(path string, size int, diskC, memC *rc.Container, onReady func()) (hit bool) {
 	if e, ok := fc.entries[path]; ok {
 		fc.hits++
+		if s := fc.statsFor(memC); s != nil {
+			s.hits++
+		}
 		fc.lru.MoveToFront(e.elem)
 		if onReady != nil {
 			onReady()
@@ -96,6 +136,9 @@ func (fc *FileCache) Read(path string, size int, diskC, memC *rc.Container, onRe
 		return true
 	}
 	fc.misses++
+	if s := fc.statsFor(memC); s != nil {
+		s.misses++
+	}
 	fc.k.Disk().Read(diskC, size, func() {
 		fc.insert(path, int64(size), memC)
 		if onReady != nil {

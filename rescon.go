@@ -16,6 +16,11 @@
 //   - AlertMonitor / Watchdog — sockstat-style overload detection on the
 //     telemetry stream and the closed-loop reaction (attach with
 //     WithAlerts, or AttachAlerts + AttachWatchdog)
+//   - Rebalancer — the closed-loop adaptive share controller: shifts
+//     container attributes between pool members in proportion to
+//     demand, with starvation floors, damping and a self-disarming
+//     oscillation detector (attach with WithRebalancer, or
+//     AttachRebalancer / AttachRuntimeRebalancer)
 //   - Runtime / Binder / AcceptPolicy — the real-runtime bridge: govern
 //     a live net/http server with containers (NewRuntime, cmd/rcserve,
 //     `rcbench -exp live`)
@@ -64,9 +69,11 @@
 // Facade symbols are never removed silently. A symbol slated for
 // removal first gains a Deprecated notice naming its replacement, stays
 // for two further tagged releases so downstream callers can migrate at
-// their own pace, and is then deleted. Currently deprecated (and
-// already unused inside this repository): NewSimWithCosts and NewSMPSim
-// — use NewSim with the WithCosts / WithCPUs options instead.
+// their own pace, and is then deleted. The first full cycle of that
+// schedule has now run: NewSimWithCosts and NewSMPSim carried their
+// notices for two tagged releases and have been removed — use NewSim
+// with the WithCosts / WithCPUs options instead. No facade symbol is
+// currently deprecated.
 //
 // See the examples/ directory for complete programs and cmd/rcbench for
 // the harness that regenerates every table and figure of the paper.
@@ -84,6 +91,7 @@ import (
 	"rescon/internal/netsim"
 	"rescon/internal/rc"
 	"rescon/internal/rcruntime"
+	"rescon/internal/rebalance"
 	"rescon/internal/sim"
 	"rescon/internal/telemetry"
 	"rescon/internal/trace"
@@ -650,6 +658,68 @@ func AttachWatchdog(m *AlertMonitor, k *Kernel, cfg WatchdogConfig) *Watchdog {
 	return alert.AttachWatchdog(m, k, cfg)
 }
 
+// Closed-loop adaptive rebalancing (internal/rebalance). The controller
+// watches per-member demand counters on the telemetry sampling tick and
+// live-rewrites container attributes toward the demand split, under
+// hard robustness bounds: per-tick step clamps with cooldowns, a
+// starvation floor no member is ever pushed below, conserved pool
+// totals, and an oscillation detector that disarms the controller and
+// restores the saved static shares verbatim if damping proves
+// insufficient. Every decision lands in a deterministic JSONL journal.
+type (
+	// Rebalancer is the feedback controller; inspect it with Steps,
+	// Disarms, Disarmed, Allocations, the Audit* invariant probes and
+	// the WriteJSONL decision journal.
+	Rebalancer = rebalance.Controller
+	// RebalanceConfig tunes damping (step clamp, cooldown, deadband),
+	// the starvation floor, the oscillation detector and the demand
+	// smoothing window. The zero value picks conservative defaults.
+	RebalanceConfig = rebalance.Config
+	// RebalancePool declares one governed pool: a named resource and at
+	// least two members whose current allocations become both the saved
+	// static split and the conserved pool total.
+	RebalancePool = rebalance.PoolConfig
+	// RebalanceMember pairs a container with its cumulative demand
+	// counter (monotonic; the controller differences it per tick).
+	RebalanceMember = rebalance.Member
+	// RebalanceResource selects which attribute a pool trades between
+	// members: CPU share, CPU limit or memory quota.
+	RebalanceResource = rebalance.Resource
+	// RebalanceFreezer is an actuator the controller yields to: while
+	// Engaged returns true the controller freezes, and it resyncs its
+	// view of member attributes before resuming. Both the simulated
+	// watchdog (Watchdog) and the runtime one (RuntimeWatchdog)
+	// implement it.
+	RebalanceFreezer = rebalance.Freezer
+)
+
+// Rebalanceable resources.
+const (
+	RebalanceCPUShare = rebalance.CPUShare
+	RebalanceCPULimit = rebalance.CPULimit
+	RebalanceMemQuota = rebalance.MemQuota
+)
+
+// AttachRebalancer builds a rebalance controller and drives it from the
+// telemetry sampling tick; see rebalance.Attach. Attach it after
+// AttachAlerts / AttachWatchdog so a watchdog listed in cfg.Freeze has
+// updated its state by the time the controller runs (sample hooks run
+// in registration order); WithRebalancer orders this automatically.
+// Pools are added afterwards with AddPool, once the governed containers
+// exist.
+func AttachRebalancer(tel *Telemetry, cfg RebalanceConfig) (*Rebalancer, error) {
+	return rebalance.Attach(tel, cfg)
+}
+
+// AttachRuntimeRebalancer drives a rebalance controller from a live
+// runtime monitor's enforcement tick, serialized against the enforcer's
+// snapshot-decide-apply cycle; see rcruntime.AttachRebalancer. Attach
+// the runtime watchdog first and list it in cfg.Freeze so emergency
+// actuation wins arbitration.
+func AttachRuntimeRebalancer(m *RuntimeMonitor, cfg RebalanceConfig) (*Rebalancer, error) {
+	return rcruntime.AttachRebalancer(m, cfg)
+}
+
 // Sim bundles a discrete-event engine with a simulated kernel.
 type Sim struct {
 	Engine *Engine
@@ -663,6 +733,10 @@ type Sim struct {
 	// Watchdog is the attached closed loop, nil unless WithWatchdog was
 	// used.
 	Watchdog *Watchdog
+	// Rebalancer is the attached adaptive share controller, nil unless
+	// WithRebalancer was used. Pools are added with AddPool once the
+	// governed containers exist.
+	Rebalancer *Rebalancer
 }
 
 // SimOption customizes NewSim.
@@ -674,6 +748,7 @@ type simOptions struct {
 	tel    *telemetry.Collector
 	alerts *alert.Config
 	wd     *alert.WatchdogConfig
+	reb    *rebalance.Config
 }
 
 // WithCosts replaces the default (paper-calibrated) cost model.
@@ -713,6 +788,19 @@ func WithWatchdog(cfg WatchdogConfig) SimOption {
 	return func(o *simOptions) { o.wd = &cfg }
 }
 
+// WithRebalancer attaches the closed-loop adaptive share controller on
+// the telemetry sampling tick; the controller is reachable as
+// Sim.Rebalancer (add pools with AddPool once the governed containers
+// exist). A telemetry collector is attached implicitly if WithTelemetry
+// is not also given. When WithWatchdog is also given, the watchdog is
+// attached first and appended to cfg.Freeze automatically, so emergency
+// actuation always wins arbitration and the controller freezes while
+// the watchdog is engaged. Zero-valued damping knobs in cfg take the
+// package defaults.
+func WithRebalancer(cfg RebalanceConfig) SimOption {
+	return func(o *simOptions) { o.reb = &cfg }
+}
+
 // NewSim creates a deterministic simulation in the given kernel mode,
 // customized by functional options: WithCosts, WithCPUs, WithTelemetry.
 func NewSim(mode Mode, seed int64, opts ...SimOption) *Sim {
@@ -723,7 +811,7 @@ func NewSim(mode Mode, seed int64, opts ...SimOption) *Sim {
 	eng := sim.NewEngine(seed)
 	k := kernel.NewSMP(eng, mode, o.costs, o.ncpus)
 	s := &Sim{Engine: eng, Kernel: k}
-	if o.tel == nil && (o.alerts != nil || o.wd != nil) {
+	if o.tel == nil && (o.alerts != nil || o.wd != nil || o.reb != nil) {
 		o.tel = telemetry.New(telemetry.Config{})
 	}
 	if o.tel != nil {
@@ -744,27 +832,21 @@ func NewSim(mode Mode, seed int64, opts ...SimOption) *Sim {
 			s.Watchdog = alert.AttachWatchdog(m, k, *o.wd)
 		}
 	}
+	if o.reb != nil {
+		rcfg := *o.reb
+		if s.Watchdog != nil {
+			// The watchdog registered its sample hook first, so by the
+			// time the controller ticks its Engaged state is current;
+			// listing it in Freeze makes emergency actuation win.
+			rcfg.Freeze = append(rcfg.Freeze, s.Watchdog)
+		}
+		r, err := rebalance.Attach(s.Telemetry, rcfg)
+		if err != nil {
+			panic("rescon: WithRebalancer: " + err.Error())
+		}
+		s.Rebalancer = r
+	}
 	return s
-}
-
-// NewSimWithCosts creates a simulation with a custom cost model.
-//
-// Deprecated: use NewSim(mode, seed, WithCosts(costs)). All internal
-// callers have been migrated; per the removal schedule in the package
-// comment, this wrapper is removed two tagged releases after the one
-// that first carried this notice.
-func NewSimWithCosts(mode Mode, seed int64, costs CostModel) *Sim {
-	return NewSim(mode, seed, WithCosts(costs))
-}
-
-// NewSMPSim creates a simulation of a multiprocessor machine.
-//
-// Deprecated: use NewSim(mode, seed, WithCPUs(ncpus)). All internal
-// callers have been migrated; per the removal schedule in the package
-// comment, this wrapper is removed two tagged releases after the one
-// that first carried this notice.
-func NewSMPSim(mode Mode, seed int64, ncpus int) *Sim {
-	return NewSim(mode, seed, WithCPUs(ncpus))
 }
 
 // Now returns the current virtual time.

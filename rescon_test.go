@@ -352,14 +352,59 @@ func TestSurvivabilityFacade(t *testing.T) {
 	}
 }
 
-// TestDeprecatedConstructors keeps the deprecated wrappers working until
-// their scheduled removal (see the package comment); nothing else in the
-// repository calls them anymore.
-func TestDeprecatedConstructors(t *testing.T) {
-	if s := NewSimWithCosts(ModeLRP, 3, DefaultCosts()); s.Kernel.Mode() != ModeLRP {
-		t.Fatal("NewSimWithCosts mode not applied")
+// TestWithRebalancer drives the closed-loop share controller through
+// the facade only: two sibling containers in a CPU-share pool, demand
+// concentrated on one of them, and the controller expected to shift
+// share toward it without crossing the starvation floor or breaking
+// conservation.
+func TestWithRebalancer(t *testing.T) {
+	s := NewSim(ModeRC, 7,
+		WithWatchdog(WatchdogConfig{}),
+		WithRebalancer(RebalanceConfig{}))
+	if s.Rebalancer == nil || s.Telemetry == nil || s.Watchdog == nil {
+		t.Fatal("WithRebalancer must wire telemetry, watchdog and controller")
 	}
-	if smp := NewSMPSim(ModeRC, 3, 2); smp.Kernel.NumCPUs() != 2 {
-		t.Fatal("NewSMPSim CPUs not applied")
+	root, err := NewContainer(nil, FixedShare, "pool", Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewContainer(root, TimeShare, "a", Attributes{Share: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewContainer(root, TimeShare, "b", Attributes{Share: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot int64
+	if err := s.Rebalancer.AddPool(RebalancePool{
+		Name:     "cpu",
+		Resource: RebalanceCPUShare,
+		Members: []RebalanceMember{
+			{Container: a, Demand: func() int64 { hot += 100; return hot }},
+			{Container: b, Demand: func() int64 { return 0 }},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(2 * Second)
+	if s.Rebalancer.Steps() == 0 {
+		t.Fatal("controller never stepped under one-sided demand")
+	}
+	if a.Attributes().Share <= b.Attributes().Share {
+		t.Fatalf("share did not follow demand: a=%g b=%g",
+			a.Attributes().Share, b.Attributes().Share)
+	}
+	for _, audit := range []struct{ name, v string }{
+		{"conservation", s.Rebalancer.AuditConservation()},
+		{"floors", s.Rebalancer.AuditFloors()},
+		{"restore", s.Rebalancer.AuditRestore()},
+	} {
+		if audit.v != "" {
+			t.Errorf("%s audit: %s", audit.name, audit.v)
+		}
+	}
+	if s.Rebalancer.Disarmed() {
+		t.Fatal("controller disarmed under steady one-sided demand")
 	}
 }
